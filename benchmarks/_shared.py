@@ -1,0 +1,46 @@
+"""Shared state for the benchmark suite.
+
+The ERP sweep behind Figs. 5, 6(a-d) and 7(a-b) is expensive (18
+simulations per seed at the bench scale), so it is computed once per
+pytest session and shared by every panel's benchmark.  Each benchmark
+still *prints and persists* its own figure table under
+``benchmarks/results/``.
+
+Scale selection: set ``REPRO_SCALE`` to ``smoke`` (CI), ``bench``
+(default) or ``paper`` (the EXPERIMENTS.md numbers).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Optional
+
+from repro.experiments import current_scale, run_fig4, run_fig6
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_sweep_cache: Optional[Dict] = None
+_fig4_cache: Optional[Dict] = None
+
+
+def get_sweep() -> Dict:
+    """The seed-averaged ERP x scheme sweep (computed once)."""
+    global _sweep_cache
+    if _sweep_cache is None:
+        _sweep_cache = run_fig6(current_scale())
+    return _sweep_cache
+
+
+def get_fig4() -> Dict:
+    """The 12-cell activity-management comparison (computed once)."""
+    global _fig4_cache
+    if _fig4_cache is None:
+        _fig4_cache = run_fig4(current_scale())
+    return _fig4_cache
+
+
+def emit(name: str, table: str) -> None:
+    """Print a figure table and persist it under benchmarks/results/."""
+    print("\n" + table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")

@@ -1,0 +1,20 @@
+"""Ablation A2 — balanced clustering (Algorithm 1) vs nearest-target.
+
+Static effect: cluster-size spread.  System effect: RV travel and
+coverage under the combined scheduler.
+"""
+
+from repro.experiments import current_scale
+from repro.experiments.ablation_clustering import format_ablation, run_ablation, static_balance
+
+from _shared import emit
+
+
+def bench_ablation_clustering(benchmark):
+    def run():
+        return static_balance(seeds=10), run_ablation(current_scale())
+
+    static, dynamic = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ablation_clustering", format_ablation(static, dynamic))
+    # Algorithm 1's whole point: tighter cluster sizes than the baseline.
+    assert static["balanced"] <= static["nearest_target"]

@@ -1,0 +1,58 @@
+"""Ablation A1 — insertion heuristic (Algorithm 3) vs the exact optimum.
+
+On small instances (n <= 9, where the Held-Karp DP is exact) the
+heuristic's Eq. (2) profit is compared against the provable optimum.
+The paper offers no optimality-gap numbers — this quantifies what the
+NP-hardness argument leaves open.
+"""
+
+import numpy as np
+
+from repro.core.insertion import build_insertion_sequence
+from repro.core.mip import RechargeInstance, solve_exact_single_rv
+from repro.core.requests import RechargeRequest, aggregate_by_cluster
+from repro.utils.tables import format_table
+
+from _shared import emit
+
+
+def _gap_for(rng, n, demand_scale):
+    positions = rng.uniform(0, 200, size=(n, 2))
+    demands = rng.uniform(0.5, 1.0, size=n) * demand_scale
+    inst = RechargeInstance(positions, demands, np.array([100.0, 100.0]), em_j_per_m=5.6)
+    reqs = [RechargeRequest(i, positions[i], float(demands[i])) for i in range(n)]
+    order = build_insertion_sequence(aggregate_by_cluster(reqs), inst.start, 1e12, 5.6)
+    heuristic = inst.route_profit(order) if order else 0.0
+    exact = solve_exact_single_rv(inst).profit
+    gap = 0.0 if exact <= 0 else 100.0 * (exact - heuristic) / exact
+    return heuristic, exact, gap
+
+
+def bench_ablation_exact_gap(benchmark):
+    def run():
+        rows = []
+        for n in (5, 7, 9):
+            for demand_scale in (1000.0, 4000.0):
+                gaps = []
+                for seed in range(10):
+                    rng = np.random.default_rng(seed)
+                    _, _, gap = _gap_for(rng, n, demand_scale)
+                    gaps.append(gap)
+                rows.append([n, demand_scale, float(np.mean(gaps)), float(np.max(gaps))])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["n nodes", "demand scale (J)", "mean gap (%)", "max gap (%)"],
+        rows,
+        precision=2,
+        title="Ablation A1 - insertion heuristic optimality gap vs exact DP",
+    )
+    emit("ablation_exact_gap", table)
+    # The heuristic is near-optimal in the paper's operating regime
+    # (demands large relative to traveling cost); when travel dominates
+    # the objective (low demand scale) the gap widens — that is the
+    # finding this ablation documents.
+    high_demand = [row for row in rows if row[1] >= 4000.0]
+    assert all(row[2] < 10.0 for row in high_demand)
+    assert all(row[2] < 50.0 for row in rows)

@@ -1,0 +1,78 @@
+"""Ablation A3 — 2-opt post-pass on the schedulers' routes.
+
+How much route length does a classical 2-opt improvement recover on top
+of the paper's heuristics?  Small numbers justify the paper's choice to
+stop at insertion; large ones would indicate routing left on the table.
+"""
+
+import numpy as np
+
+from repro.core.greedy import greedy_destination
+from repro.core.insertion import build_insertion_sequence
+from repro.core.requests import RechargeRequest, aggregate_by_cluster
+from repro.geometry.points import distances_from
+from repro.tsp.tour import open_tour_length
+from repro.tsp.two_opt import two_opt
+from repro.utils.tables import format_table
+
+from _shared import emit
+
+
+def _greedy_chain(positions, demands, start, em):
+    order, pos = [], start
+    remaining = list(range(len(positions)))
+    while remaining:
+        sub = positions[remaining]
+        profits = demands[remaining] - em * distances_from(pos, sub)
+        k = int(np.argmax(profits))
+        order.append(remaining.pop(k))
+        pos = positions[order[-1]]
+    return order
+
+
+def _route_len(start, positions, order):
+    pts = np.vstack([start, positions[order]])
+    return open_tour_length(pts, list(range(len(pts))))
+
+
+def bench_ablation_two_opt(benchmark):
+    em = 5.6
+
+    def run():
+        rows = []
+        for name in ("greedy", "insertion"):
+            before_l, after_l = [], []
+            for seed in range(10):
+                rng = np.random.default_rng(seed)
+                n = 15
+                positions = rng.uniform(0, 200, size=(n, 2))
+                demands = rng.uniform(1000, 2000, size=n)
+                start = np.array([100.0, 100.0])
+                if name == "greedy":
+                    order = _greedy_chain(positions, demands, start, em)
+                else:
+                    reqs = [RechargeRequest(i, positions[i], float(demands[i])) for i in range(n)]
+                    order = build_insertion_sequence(
+                        aggregate_by_cluster(reqs), start, 1e12, em
+                    )
+                before = _route_len(start, positions, order)
+                # 2-opt over the full path including the fixed start.
+                pts = np.vstack([start, positions[order]])
+                improved = two_opt(pts, list(range(len(pts))))
+                after = open_tour_length(pts, improved)
+                before_l.append(before)
+                after_l.append(after)
+            saved = 100.0 * (np.mean(before_l) - np.mean(after_l)) / np.mean(before_l)
+            rows.append([name, float(np.mean(before_l)), float(np.mean(after_l)), float(saved)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["planner", "route len (m)", "after 2-opt (m)", "saved (%)"],
+        rows,
+        precision=1,
+        title="Ablation A3 - 2-opt post-pass on planner routes (15 nodes, 10 seeds)",
+    )
+    emit("ablation_two_opt", table)
+    # 2-opt never lengthens a route.
+    assert all(row[2] <= row[1] + 1e-6 for row in rows)

@@ -1,0 +1,39 @@
+"""Eq. (1) — minimum sensors for full coverage (Section II-B).
+
+Regenerates the deployment-sizing numbers and empirically checks that
+deploying Eq. (1)'s count actually approaches full grid coverage.
+"""
+
+import numpy as np
+
+from repro.geometry import Field, covered_fraction_grid, hexagon_covering_bound, minimum_sensors_eq1
+from repro.utils.tables import format_table
+
+from _shared import emit
+
+
+def bench_eq1_coverage_bound(benchmark):
+    field = Field(200.0)
+    rng = np.random.default_rng(0)
+
+    def run():
+        rows = []
+        for r in (8.0, 12.0, 16.0):
+            n_eq1 = minimum_sensors_eq1(field.area, r)
+            n_hex = hexagon_covering_bound(field.area, r)
+            pts = field.deploy_uniform(3 * n_hex, rng)
+            frac = covered_fraction_grid(pts, field.side_length, r, resolution=60)
+            rows.append([r, n_eq1, n_hex, 100.0 * frac])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["sensing range (m)", "Eq.(1) N", "hexagon bound N", "random 3x coverage (%)"],
+        rows,
+        precision=1,
+        title="Eq. (1) - minimum sensors for full coverage (Sa = 200 x 200 m)",
+    )
+    emit("eq1_coverage_bound", table)
+    # Paper's Table II point: 500 deployed sensors exceed the Eq. (1)
+    # minimum at ds = 8 m.
+    assert minimum_sensors_eq1(field.area, 8.0) < 500

@@ -1,0 +1,56 @@
+"""Ablation A4 — the extension schedulers vs the paper's algorithms.
+
+One simulation cell per scheduler at the shared experiment
+configuration (ERP 0.6): how do the FCFS / nearest-first baselines and
+the 2-opt / deadline-aware refinements compare on travel, coverage and
+request latency?
+"""
+
+from repro.experiments import current_scale, run_cell
+from repro.utils.tables import format_table
+
+from _shared import emit
+
+SCHEDULERS = (
+    "greedy",
+    "partition",
+    "combined",
+    "fcfs",
+    "nearest",
+    "insertion+2opt",
+    "deadline",
+)
+
+
+def bench_extension_schedulers(benchmark):
+    scale = current_scale()
+
+    def run():
+        rows = []
+        for name in SCHEDULERS:
+            cell = run_cell(scale, scheduler=name, erp=0.6)
+            rows.append(
+                [
+                    name,
+                    cell["traveling_energy_j"] / 1e6,
+                    100.0 * cell["avg_coverage_ratio"],
+                    100.0 * cell["avg_nonfunctional_fraction"],
+                    cell["mean_request_latency_s"] / 3600.0,
+                    cell["objective_j"] / 1e6,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["scheduler", "travel (MJ)", "coverage (%)", "nonfunc (%)", "latency (h)", "objective (MJ)"],
+        rows,
+        title="Ablation A4 - extension schedulers vs the paper's (ERP 0.6)",
+    )
+    emit("extension_schedulers", table)
+    by_name = {r[0]: r for r in rows}
+    # 2-opt refinement never travels more than plain combined (same
+    # routes, improved order) — allow small stochastic slack.
+    assert by_name["insertion+2opt"][1] <= by_name["combined"][1] * 1.10
+    # FCFS ignores geography: it should be the costliest traveler.
+    assert by_name["fcfs"][1] >= by_name["partition"][1]

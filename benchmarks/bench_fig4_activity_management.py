@@ -1,0 +1,23 @@
+"""Fig. 4 — impact of sensor activity management on RV moving cost.
+
+Regenerates the 12-bar comparison: {No ERC, With ERC} x {Full time,
+With RR} for each recharging scheme, in MJ of RV traveling energy.
+"""
+
+from repro.experiments import SCHEMES, activity_saving_percent, format_fig4
+
+from _shared import emit, get_fig4
+
+
+def bench_fig4_activity_management(benchmark):
+    result = benchmark.pedantic(get_fig4, rounds=1, iterations=1)
+    table = format_fig4(result)
+    savings = activity_saving_percent(result)
+    lines = [table, "", "Joint-scheme saving vs 'No ERC - Full time' (paper: ~16%):"]
+    for s in SCHEMES:
+        lines.append(f"  {s}: {savings[s]:.1f}%")
+    emit("fig4_activity_management", "\n".join(lines))
+    # Shape: the joint scheme (ERC + round robin) never costs more RV
+    # energy than the prior-work baseline (full time, no ERC).
+    for s in SCHEMES:
+        assert result["With ERC - With RR"][s] <= result["No ERC - Full time"][s] * 1.05

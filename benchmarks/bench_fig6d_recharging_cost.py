@@ -1,0 +1,21 @@
+"""Fig. 6(d) — recharging cost (m/sensor) vs ERP.
+
+The paper's metric: total RV traveling distance divided by the
+time-averaged number of operational sensors.  Shape: the
+Partition-Scheme is cheapest and the cost declines with ERP.
+"""
+
+import numpy as np
+
+from repro.experiments import ERP_GRID, format_panel, panel_d
+
+from _shared import emit, get_sweep
+
+
+def bench_fig6d_recharging_cost(benchmark):
+    series = benchmark.pedantic(lambda: panel_d(get_sweep()), rounds=1, iterations=1)
+    emit("fig6d_recharging_cost", format_panel("d", series, ERP_GRID))
+    means = {s: float(np.mean(v)) for s, v in series.items()}
+    assert means["partition"] <= means["greedy"]
+    for s, v in series.items():
+        assert v[-1] <= v[0] * 1.05, s

@@ -1,0 +1,22 @@
+"""Fig. 7(a) — total energy recharged into the network vs ERP.
+
+Paper shape: declines slightly with ERP (fewer nodes on the list) and
+the Combined-Scheme recharges the most thanks to its global view.
+"""
+
+import numpy as np
+
+from repro.experiments import ERP_GRID
+from repro.experiments.fig7_profit import format_fig7_panel, panel_a
+
+from _shared import emit, get_sweep
+
+
+def bench_fig7a_energy_recharged(benchmark):
+    series = benchmark.pedantic(lambda: panel_a(get_sweep()), rounds=1, iterations=1)
+    emit("fig7a_energy_recharged", format_fig7_panel("a", series, ERP_GRID))
+    means = {s: float(np.mean(v)) for s, v in series.items()}
+    # Shape: all schemes deliver the same order of magnitude; combined
+    # is not the weakest deliverer.
+    assert means["combined"] >= min(means.values())
+    assert max(means.values()) <= 1.5 * min(means.values())

@@ -1,0 +1,25 @@
+"""Fig. 7(b) — objective score (Eq. (2) recharge profit) vs ERP.
+
+Paper shape: the Combined-Scheme achieves the highest profit; the
+Partition-Scheme overtakes greedy as ERP grows (lower travel, similar
+energy delivered).
+"""
+
+import numpy as np
+
+from repro.experiments import ERP_GRID
+from repro.experiments.fig7_profit import format_fig7_panel, panel_b
+
+from _shared import emit, get_sweep
+
+
+def bench_fig7b_objective(benchmark):
+    series = benchmark.pedantic(lambda: panel_b(get_sweep()), rounds=1, iterations=1)
+    emit("fig7b_objective", format_fig7_panel("b", series, ERP_GRID))
+    # Objective = delivered - travel; must be positive for a working
+    # recharging system.
+    for s, v in series.items():
+        assert all(x > 0 for x in v), s
+    # Shape: at high ERP, partition's low travel makes it at least
+    # competitive with greedy.
+    assert np.mean(series["partition"][-2:]) >= np.mean(series["greedy"][-2:]) * 0.95

@@ -1,0 +1,51 @@
+"""Section IV-E — scheduler runtime scaling.
+
+The paper analyzes the time complexity of the greedy (O(n^2)), the
+single-RV insertion (O(n^2)..O(n^3)) and the two fleet schemes.  These
+are true microbenchmarks (pytest-benchmark statistics) of one planning
+round over a static recharge node list of size n.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.combined import CombinedScheduler
+from repro.core.greedy import GreedyScheduler
+from repro.core.partition import PartitionScheduler
+from repro.core.requests import RechargeNodeList, RechargeRequest
+from repro.core.scheduling import RVView
+
+
+def make_instance(n, seed=0):
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(0, 200, size=(n, 2))
+    demands = rng.uniform(1000, 2000, size=n)
+    reqs = [RechargeRequest(i, positions[i], float(demands[i])) for i in range(n)]
+    views = [
+        RVView(rv_id=i, position=np.array([100.0, 100.0]), budget_j=1e12, em_j_per_m=5.6)
+        for i in range(3)
+    ]
+    return reqs, views
+
+
+SCHEDULERS = {
+    "greedy": lambda: GreedyScheduler(),
+    "partition": lambda: PartitionScheduler(3),
+    "combined": lambda: CombinedScheduler(),
+}
+
+
+@pytest.mark.parametrize("n", [20, 60, 120])
+@pytest.mark.parametrize("name", list(SCHEDULERS))
+def bench_scheduler_round(benchmark, name, n):
+    reqs, views = make_instance(n)
+    scheduler = SCHEDULERS[name]()
+    rng = np.random.default_rng(1)
+
+    def round_():
+        lst = RechargeNodeList(reqs)
+        return scheduler.assign(lst, views, rng)
+
+    plans = benchmark(round_)
+    served = sum(len(p.node_ids) for p in plans.values())
+    assert served == n  # unconstrained budgets: everything gets planned

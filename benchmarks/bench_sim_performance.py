@@ -1,0 +1,48 @@
+"""Simulator performance microbenchmarks (regression guards).
+
+Not a paper figure — these pin the cost of the hot paths so future
+changes that regress the engine show up in benchmark history:
+
+* building a 500-sensor world (deployment + topology + routing);
+* one vectorized energy advance over the whole bank;
+* one rate recomputation (activation + relay accounting);
+* a full small simulation end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import DAY_S, SimulationConfig
+from repro.sim.runner import run_simulation
+from repro.sim.world import World
+
+
+def bench_world_construction(benchmark):
+    cfg = SimulationConfig.experiment(sim_time_s=1 * DAY_S, seed=1)
+    world = benchmark(lambda: World(cfg))
+    assert world.cfg.n_sensors == 500
+
+
+def bench_energy_advance(benchmark):
+    cfg = SimulationConfig.experiment(sim_time_s=1 * DAY_S, seed=1)
+    world = World(cfg)
+    rates = world._rates.copy()
+
+    def advance():
+        world.bank.drain_rates(rates, 1.0)
+
+    benchmark(advance)
+    assert np.all(world.bank.levels_j >= 0)
+
+
+def bench_rate_recompute(benchmark):
+    cfg = SimulationConfig.experiment(sim_time_s=1 * DAY_S, seed=1)
+    world = World(cfg)
+    benchmark(world._recompute_rates)
+    assert world._rates.sum() > 0
+
+
+def bench_small_run_end_to_end(benchmark):
+    cfg = SimulationConfig.small(sim_time_s=0.5 * DAY_S, seed=1)
+    summary = benchmark.pedantic(lambda: run_simulation(cfg), rounds=3, iterations=1)
+    assert summary.sim_time_s == pytest.approx(0.5 * DAY_S)

@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+Puts the benchmarks directory on sys.path so the suite's shared module
+(`_shared`) imports regardless of the pytest rootdir, and prints the
+selected experiment scale once per session.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_report_header(config):
+    scale = os.environ.get("REPRO_SCALE", "bench")
+    return f"repro experiment scale: {scale} (set REPRO_SCALE=smoke|bench|paper)"

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""The paper's motivating scenario: monitoring rare animals.
+
+Sensors are densely deployed so each animal (target) is watched by
+several sensors at once; the redundancy is exactly what the paper's
+activity management exploits.  This example:
+
+1. forms balanced clusters around the animals (Algorithm 1) and prints
+   the cluster map and its size balance;
+2. traces a few hours of round-robin duty rotation inside one cluster;
+3. compares round-robin vs full-time activation over a simulated day:
+   sensor energy consumed, recharge requests generated, and RV travel.
+
+Run:  python examples/animal_monitoring.py
+"""
+
+import numpy as np
+
+from repro import SimulationConfig, World, balanced_clustering
+from repro.core.activation import RoundRobinActivator
+from repro.geometry import Field
+from repro.sim import DAY_S
+
+
+def cluster_map() -> None:
+    print("=== 1. balanced clusters around the animals ===")
+    rng = np.random.default_rng(3)
+    field = Field(100.0)
+    sensors = field.deploy_uniform(150, rng)
+    animals = field.random_points(4, rng)
+    clusters = balanced_clustering(sensors, animals, sensing_range=14.0)
+    for c in clusters:
+        pos = animals[c.cluster_id]
+        print(
+            f"  animal {c.cluster_id} at ({pos[0]:5.1f}, {pos[1]:5.1f}): "
+            f"{c.size} watchers -> sensors {c.members.tolist()}"
+        )
+    sizes = clusters.sizes()
+    print(f"  cluster sizes: {sizes.tolist()} (spread = {clusters.spread()})\n")
+
+
+def rotation_trace() -> None:
+    print("=== 2. round-robin duty rotation (one cluster, 6 slots) ===")
+    rng = np.random.default_rng(3)
+    field = Field(100.0)
+    sensors = field.deploy_uniform(150, rng)
+    animals = field.random_points(4, rng)
+    clusters = balanced_clustering(sensors, animals, sensing_range=14.0)
+    act = RoundRobinActivator(clusters)
+    alive = np.ones(150, dtype=bool)
+    for slot in range(6):
+        on_duty = act.active_sensor_per_cluster(alive)
+        print(f"  slot {slot}: on duty per animal -> {on_duty.tolist()}")
+        act.rotate(alive)
+    print()
+
+
+def activation_comparison() -> None:
+    print("=== 3. round-robin vs full-time over one simulated day ===")
+    rows = []
+    for activation in ("round_robin", "full_time"):
+        cfg = SimulationConfig.small(
+            activation=activation, scheduler="combined", sim_time_s=1 * DAY_S, seed=11
+        )
+        w = World(cfg)
+        s = w.run()
+        rows.append((activation, s))
+    for activation, s in rows:
+        print(
+            f"  {activation:12s}: energy recharged {s.delivered_energy_j / 1000:7.1f} kJ, "
+            f"requests {s.n_requests:4d}, RV travel {s.traveling_distance_m / 1000:5.2f} km, "
+            f"coverage {100 * s.avg_coverage_ratio:6.2f} %"
+        )
+    rr, ft = rows[0][1], rows[1][1]
+    if ft.delivered_energy_j > 0:
+        saved = 100 * (1 - rr.delivered_energy_j / ft.delivered_energy_j)
+        print(f"  -> round-robin cut the network's energy appetite by {saved:.0f}%")
+
+
+if __name__ == "__main__":
+    cluster_map()
+    rotation_trace()
+    activation_comparison()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Using the schedulers as a standalone routing library (no simulator).
+
+Given a snapshot of a recharge node list — positions, demands, cluster
+memberships — plan one RV's sortie three ways and compare Eq. (2)
+profits:
+
+* Algorithm 2 (greedy chaining),
+* Algorithm 3 (insertion, with cluster aggregation),
+* the exact Held-Karp optimum (instances this small are solvable).
+
+Run:  python examples/static_route_planning.py
+"""
+
+import numpy as np
+
+from repro.core.greedy import greedy_destination
+from repro.core.insertion import build_insertion_sequence, expand_stops
+from repro.core.mip import RechargeInstance, solve_exact_single_rv
+from repro.core.requests import RechargeRequest, aggregate_by_cluster
+from repro.geometry.points import distances_from
+
+EM = 5.6  # J/m, Table II
+
+
+def greedy_chain(positions, demands, start):
+    """Algorithm 2 as a pure function: repeatedly take the max-profit
+    node from the current position."""
+    order, pos = [], start
+    remaining = list(range(len(positions)))
+    while remaining:
+        sub = positions[remaining]
+        idx = greedy_destination(demands[remaining], sub, pos, EM)
+        order.append(remaining.pop(idx))
+        pos = positions[order[-1]]
+    return order
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    # Eight pending requests: two 3-node clusters plus two singletons.
+    cluster_a = rng.normal([40.0, 150.0], 4.0, size=(3, 2))
+    cluster_b = rng.normal([160.0, 60.0], 4.0, size=(3, 2))
+    singles = np.array([[100.0, 180.0], [30.0, 40.0]])
+    positions = np.vstack([cluster_a, cluster_b, singles])
+    demands = rng.uniform(2500.0, 4000.0, size=len(positions))
+    cluster_ids = [0, 0, 0, 1, 1, 1, -1, -1]
+    start = np.array([100.0, 100.0])  # the base station
+
+    print("Pending recharge requests:")
+    for i, (p, d, c) in enumerate(zip(positions, demands, cluster_ids)):
+        tag = f"cluster {c}" if c >= 0 else "singleton"
+        print(f"  node {i}: ({p[0]:6.1f}, {p[1]:6.1f})  demand {d:7.0f} J  [{tag}]")
+
+    inst = RechargeInstance(positions, demands, start, em_j_per_m=EM)
+
+    g_order = greedy_chain(positions, demands, start)
+    g_profit = inst.route_profit(g_order)
+
+    reqs = [
+        RechargeRequest(i, positions[i], float(demands[i]), cluster_ids[i])
+        for i in range(len(positions))
+    ]
+    stops = aggregate_by_cluster(reqs)
+    stop_order = build_insertion_sequence(stops, start, budget_j=1e12, em_j_per_m=EM)
+    route = expand_stops(stops, stop_order, start)
+    i_order = list(route.node_ids)
+    i_profit = inst.route_profit(i_order)
+
+    exact = solve_exact_single_rv(inst)
+
+    print("\nPlanned sorties (node visit order and Eq. (2) profit):")
+    print(f"  greedy (Alg. 2)    : {g_order}  profit {g_profit:9.0f} J")
+    print(f"  insertion (Alg. 3) : {i_order}  profit {i_profit:9.0f} J")
+    print(f"  exact optimum      : {list(exact.order)}  profit {exact.profit:9.0f} J")
+    gap = 100 * (exact.profit - i_profit) / exact.profit
+    print(f"\nInsertion is within {gap:.1f}% of the provable optimum on this instance;")
+    print(f"greedy leaves {100 * (exact.profit - g_profit) / exact.profit:.1f}% on the table.")
+
+    # Show how the insertion route keeps cluster visits contiguous.
+    by_cluster = [cluster_ids[i] for i in i_order]
+    print(f"\nInsertion visit order by cluster: {by_cluster}")
+    print("(cluster members are served back-to-back with a nearest-neighbour sub-tour)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Render the reproduced figures as SVG charts.
+
+Reads the JSON produced by ``scripts/run_experiments.py`` and draws one
+SVG per paper figure (line charts for the ERP sweeps, a grouped summary
+for Fig. 4) into ``results/<scale>/svg/``.
+
+Usage:  python scripts/render_figures.py [results/paper/results.json]
+"""
+
+import json
+import pathlib
+import sys
+
+from repro.viz.svg import series_svg, write_svg
+
+SCHEMES = ("greedy", "partition", "combined")
+
+
+def main(path: str = "results/paper/results.json") -> int:
+    src = pathlib.Path(path)
+    if not src.exists():
+        print(f"no results at {src}; run scripts/run_experiments.py first", file=sys.stderr)
+        return 1
+    data = json.loads(src.read_text())
+    out = src.parent / "svg"
+    out.mkdir(exist_ok=True)
+    erps = data["fig5"]["erp"]
+    sweep = data["sweep"]
+
+    def sweep_series(metric, transform=lambda v: v):
+        return {s: (erps, [transform(v) for v in sweep[s][metric]]) for s in SCHEMES}
+
+    charts = {
+        "fig5_tradeoff.svg": series_svg(
+            {
+                "traveling energy (MJ)": (erps, data["fig5"]["traveling_energy_mj"]),
+                "missing rate (%)": (erps, data["fig5"]["missing_rate_pct"]),
+            },
+            title="Fig. 5 - Energy efficiency vs coverage trade-off (greedy)",
+            x_label="ERP value",
+        ),
+        "fig6a_traveling_energy.svg": series_svg(
+            sweep_series("traveling_energy_j", lambda v: v / 1e6),
+            title="Fig. 6(a) - Traveling energy of RVs",
+            x_label="ERP value",
+            y_label="MJ",
+        ),
+        "fig6b_coverage.svg": series_svg(
+            sweep_series("avg_coverage_ratio", lambda v: 100 * v),
+            title="Fig. 6(b) - Average coverage ratio",
+            x_label="ERP value",
+            y_label="%",
+        ),
+        "fig6c_nonfunctional.svg": series_svg(
+            sweep_series("avg_nonfunctional_fraction", lambda v: 100 * v),
+            title="Fig. 6(c) - Nonfunctional sensors",
+            x_label="ERP value",
+            y_label="%",
+        ),
+        "fig6d_recharging_cost.svg": series_svg(
+            sweep_series("recharging_cost_m_per_sensor"),
+            title="Fig. 6(d) - Recharging cost",
+            x_label="ERP value",
+            y_label="m/sensor",
+        ),
+        "fig7a_energy_recharged.svg": series_svg(
+            sweep_series("delivered_energy_j", lambda v: v / 1e6),
+            title="Fig. 7(a) - Energy recharged",
+            x_label="ERP value",
+            y_label="MJ",
+        ),
+        "fig7b_objective.svg": series_svg(
+            sweep_series("objective_j", lambda v: v / 1e6),
+            title="Fig. 7(b) - Objective score",
+            x_label="ERP value",
+            y_label="MJ",
+        ),
+    }
+    # Fig. 4 as grouped bars approximated with one series per scheduler
+    # over the four cases (x = case index).
+    fig4 = data["fig4_mj"]
+    cases = list(fig4.keys())
+    xs = list(range(len(cases)))
+    charts["fig4_activity.svg"] = series_svg(
+        {s: (xs, [fig4[c][s] for c in cases]) for s in SCHEMES},
+        title="Fig. 4 - Activity management vs RV traveling energy "
+        "(0: NoERC-FT, 1: NoERC-RR, 2: ERC-FT, 3: ERC-RR)",
+        x_label="case",
+        y_label="MJ",
+    )
+    for name, svg in charts.items():
+        write_svg(out / name, svg)
+        print(f"wrote {out / name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

@@ -1,0 +1,75 @@
+"""repro — Joint Wireless Charging and Sensor Activity Management in WRSNs.
+
+A production-quality reproduction of Gao, Wang & Yang (ICPP 2015):
+balanced clustering, round-robin sensor activation, Energy Request
+Control, and the greedy / insertion / Partition / Combined recharge
+schedulers, on top of a full WRSN simulation substrate (geometry,
+energy, multi-hop routing, mobile targets, recharging vehicles, and a
+deterministic discrete-event engine).
+
+Quickstart::
+
+    from repro import SimulationConfig, run_simulation
+
+    cfg = SimulationConfig.small(scheduler="partition", erp=0.6)
+    summary = run_simulation(cfg)
+    print(summary.traveling_energy_mj, summary.avg_coverage_ratio)
+"""
+
+from .core import (
+    CombinedScheduler,
+    EnergyRequestController,
+    FullTimeActivator,
+    GreedyScheduler,
+    InsertionScheduler,
+    PartitionScheduler,
+    RechargeInstance,
+    RechargeNodeList,
+    RechargeRequest,
+    RoundRobinActivator,
+    balanced_clustering,
+    nearest_target_clustering,
+    solve_exact_single_rv,
+    verify_routes,
+)
+from .geometry import Field, minimum_sensors_eq1
+from .sim import (
+    DAY_S,
+    HOUR_S,
+    SimulationConfig,
+    SimulationSummary,
+    World,
+    make_scheduler,
+    run_seeds,
+    run_simulation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CombinedScheduler",
+    "DAY_S",
+    "EnergyRequestController",
+    "Field",
+    "FullTimeActivator",
+    "GreedyScheduler",
+    "HOUR_S",
+    "InsertionScheduler",
+    "PartitionScheduler",
+    "RechargeInstance",
+    "RechargeNodeList",
+    "RechargeRequest",
+    "RoundRobinActivator",
+    "SimulationConfig",
+    "SimulationSummary",
+    "World",
+    "balanced_clustering",
+    "make_scheduler",
+    "minimum_sensors_eq1",
+    "nearest_target_clustering",
+    "run_seeds",
+    "run_simulation",
+    "solve_exact_single_rv",
+    "verify_routes",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Closed-form deployment estimators, validated against the simulator."""
+
+from .estimators import (
+    DeploymentModel,
+    coverage_probability,
+    expected_cluster_size,
+    fleet_size_lower_bound,
+    full_time_member_power_w,
+    request_rate_per_day,
+    rr_member_power_w,
+    threshold_crossing_interval_s,
+)
+
+__all__ = [
+    "DeploymentModel",
+    "coverage_probability",
+    "expected_cluster_size",
+    "fleet_size_lower_bound",
+    "full_time_member_power_w",
+    "request_rate_per_day",
+    "rr_member_power_w",
+    "threshold_crossing_interval_s",
+]

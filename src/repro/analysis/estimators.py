@@ -1,0 +1,202 @@
+"""Closed-form estimators for WRSN deployments.
+
+Back-of-envelope models an operator uses *before* running simulations:
+expected cluster sizes, per-sensor drain rates, recharge-request rates,
+the Section III-B traveling-energy bound, and a fleet-sizing rule.  The
+test suite validates each estimator against the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..energy.consumption import NodePowerModel
+
+__all__ = [
+    "expected_cluster_size",
+    "coverage_probability",
+    "rr_member_power_w",
+    "full_time_member_power_w",
+    "threshold_crossing_interval_s",
+    "request_rate_per_day",
+    "fleet_size_lower_bound",
+    "DeploymentModel",
+]
+
+
+def coverage_probability(n_sensors: int, side_length_m: float, sensing_range_m: float) -> float:
+    """Probability a uniform random target is seen by >= 1 sensor.
+
+    Poisson approximation of the binomial: ``1 - exp(-lambda)`` with
+    ``lambda = N * pi * ds^2 / L^2``.
+    """
+    if n_sensors < 0 or side_length_m <= 0 or sensing_range_m < 0:
+        raise ValueError("invalid deployment parameters")
+    lam = n_sensors * math.pi * sensing_range_m**2 / side_length_m**2
+    return 1.0 - math.exp(-lam)
+
+
+def expected_cluster_size(n_sensors: int, side_length_m: float, sensing_range_m: float) -> float:
+    """Expected number of sensors within one target's sensing disk.
+
+    This is the mean cluster size the balanced clustering algorithm
+    works with (before balancing steals members between overlapping
+    targets).
+    """
+    if n_sensors < 0 or side_length_m <= 0 or sensing_range_m < 0:
+        raise ValueError("invalid deployment parameters")
+    return n_sensors * math.pi * sensing_range_m**2 / side_length_m**2
+
+
+def rr_member_power_w(power: NodePowerModel, cluster_size: float) -> float:
+    """Average draw of one cluster member under round-robin duty.
+
+    The member is active ``1/nc`` of the time and idle otherwise.
+    """
+    if cluster_size < 1:
+        raise ValueError("cluster_size must be >= 1")
+    return power.idle_power_w + power.active_sensing_power_w / cluster_size
+
+
+def full_time_member_power_w(power: NodePowerModel) -> float:
+    """Average draw of one cluster member monitoring continuously."""
+    return power.idle_power_w + power.active_sensing_power_w
+
+
+def threshold_crossing_interval_s(
+    capacity_j: float,
+    threshold_fraction: float,
+    member_power_w: float,
+) -> float:
+    """Seconds between a member's recharge-threshold crossings.
+
+    Assuming the RV refills to capacity, a member re-crosses the
+    threshold after draining ``(1 - Eth) * Ec`` Joules.
+    """
+    if capacity_j <= 0 or not 0 <= threshold_fraction <= 1:
+        raise ValueError("invalid battery parameters")
+    if member_power_w <= 0:
+        return float("inf")
+    return capacity_j * (1.0 - threshold_fraction) / member_power_w
+
+
+def request_rate_per_day(
+    n_sensors: int,
+    n_targets: int,
+    side_length_m: float,
+    sensing_range_m: float,
+    capacity_j: float,
+    threshold_fraction: float,
+    power: NodePowerModel,
+    activation: str = "round_robin",
+) -> float:
+    """Estimated recharge requests per day for a whole deployment.
+
+    Clustered sensors cycle at the activation-scheme rate; the rest of
+    the network drains at idle power.
+    """
+    nc = expected_cluster_size(n_sensors, side_length_m, sensing_range_m)
+    n_clustered = min(n_targets * max(nc, 1.0), float(n_sensors))
+    n_idle = n_sensors - n_clustered
+    if activation == "round_robin":
+        member_w = rr_member_power_w(power, max(nc, 1.0))
+    elif activation == "full_time":
+        member_w = full_time_member_power_w(power)
+    else:
+        raise ValueError(f"unknown activation {activation!r}")
+    day = 86400.0
+    rate = 0.0
+    t_cluster = threshold_crossing_interval_s(capacity_j, threshold_fraction, member_w)
+    rate += n_clustered * day / t_cluster
+    t_idle = threshold_crossing_interval_s(capacity_j, threshold_fraction, power.idle_power_w)
+    if math.isfinite(t_idle):
+        rate += n_idle * day / t_idle
+    return rate
+
+
+def fleet_size_lower_bound(
+    requests_per_day: float,
+    mean_demand_j: float,
+    charge_power_w: float,
+    mean_trip_m: float,
+    rv_speed_mps: float,
+) -> int:
+    """Minimum RVs to keep up with the request stream.
+
+    Each request costs a drive of ``mean_trip_m`` plus the charging
+    dwell; the bound is total service-time demand divided by one RV-day.
+    """
+    if requests_per_day < 0 or mean_demand_j < 0:
+        raise ValueError("rates must be non-negative")
+    if charge_power_w <= 0 or rv_speed_mps <= 0:
+        raise ValueError("charge_power_w and rv_speed_mps must be positive")
+    service_s = mean_demand_j / charge_power_w + mean_trip_m / rv_speed_mps
+    needed = requests_per_day * service_s / 86400.0
+    return max(1, int(math.ceil(needed)))
+
+
+@dataclass(frozen=True)
+class DeploymentModel:
+    """All the estimators bundled for one deployment configuration.
+
+    Built directly from a :class:`~repro.sim.config.SimulationConfig`
+    via :meth:`from_config`.
+    """
+
+    n_sensors: int
+    n_targets: int
+    side_length_m: float
+    sensing_range_m: float
+    capacity_j: float
+    threshold_fraction: float
+    power: NodePowerModel
+    activation: str = "round_robin"
+
+    @classmethod
+    def from_config(cls, config) -> "DeploymentModel":
+        return cls(
+            n_sensors=config.n_sensors,
+            n_targets=config.n_targets,
+            side_length_m=config.side_length_m,
+            sensing_range_m=config.sensing_range_m,
+            capacity_j=config.battery_capacity_j,
+            threshold_fraction=config.threshold_fraction,
+            power=config.power_model,
+            activation=config.activation,
+        )
+
+    @property
+    def cluster_size(self) -> float:
+        return expected_cluster_size(self.n_sensors, self.side_length_m, self.sensing_range_m)
+
+    @property
+    def target_coverage_probability(self) -> float:
+        return coverage_probability(self.n_sensors, self.side_length_m, self.sensing_range_m)
+
+    @property
+    def member_power_w(self) -> float:
+        if self.activation == "round_robin":
+            return rr_member_power_w(self.power, max(self.cluster_size, 1.0))
+        return full_time_member_power_w(self.power)
+
+    @property
+    def requests_per_day(self) -> float:
+        return request_rate_per_day(
+            self.n_sensors,
+            self.n_targets,
+            self.side_length_m,
+            self.sensing_range_m,
+            self.capacity_j,
+            self.threshold_fraction,
+            self.power,
+            self.activation,
+        )
+
+    def fleet_lower_bound(self, charge_power_w: float, rv_speed_mps: float = 1.0) -> int:
+        mean_demand = self.capacity_j * (1.0 - self.threshold_fraction)
+        # A random-to-random hop inside an L x L square averages ~0.52 L.
+        mean_trip = 0.52 * self.side_length_m
+        return fleet_size_lower_bound(
+            self.requests_per_day, mean_demand, charge_power_w, mean_trip, rv_speed_mps
+        )

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — run one simulation and print (or JSON-dump) the summary.
+* ``estimate`` — closed-form deployment estimates, no simulation.
+* ``map`` — run part of a simulation and draw the field (ASCII or SVG).
+* ``figure`` — regenerate one paper figure's table.
+
+Every command accepts ``--preset {small,experiment,paper}`` plus
+individual overrides, or ``--config file.json`` (see
+:mod:`repro.sim.serialization`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .analysis.estimators import DeploymentModel
+from .sim.config import DAY_S, SimulationConfig
+from .sim.runner import run_simulation
+from .sim.serialization import config_from_dict, config_to_dict
+from .utils.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+_PRESETS = {
+    "small": SimulationConfig.small,
+    "experiment": SimulationConfig.experiment,
+    "paper": SimulationConfig.paper,
+}
+
+
+def _add_config_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--preset", choices=sorted(_PRESETS), default="small",
+                   help="base configuration preset (default: small)")
+    p.add_argument("--config", metavar="FILE", help="JSON config file (overrides --preset)")
+    p.add_argument("--scheduler", help="greedy | insertion | partition | combined | "
+                                       "fcfs | nearest | insertion+2opt | deadline")
+    p.add_argument("--activation", choices=("round_robin", "full_time"))
+    p.add_argument("--erp", type=float, help="Energy Request Percentage in [0, 1]")
+    p.add_argument("--days", type=float, help="simulated horizon in days")
+    p.add_argument("--seed", type=int)
+    p.add_argument("--rvs", type=int, dest="n_rvs", help="number of recharging vehicles")
+    p.add_argument("--sensors", type=int, dest="n_sensors")
+    p.add_argument("--targets", type=int, dest="n_targets")
+
+
+def _build_config(args: argparse.Namespace) -> SimulationConfig:
+    if args.config:
+        with open(args.config) as f:
+            cfg = config_from_dict(json.load(f))
+    else:
+        cfg = _PRESETS[args.preset]()
+    overrides = {}
+    for key in ("scheduler", "activation", "erp", "seed", "n_rvs", "n_sensors", "n_targets"):
+        value = getattr(args, key, None)
+        if value is not None:
+            overrides[key] = value
+    if getattr(args, "days", None) is not None:
+        overrides["sim_time_s"] = args.days * DAY_S
+    return cfg.with_overrides(**overrides) if overrides else cfg
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = _build_config(args)
+    summary = run_simulation(cfg)
+    if args.json:
+        payload = {"config": config_to_dict(cfg), "summary": summary.as_dict()}
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = [[k, v] for k, v in summary.as_dict().items()]
+    print(format_table(["metric", "value"], rows, precision=4,
+                       title=f"{cfg.scheduler} / {cfg.activation} / ERP {cfg.erp}"))
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    cfg = _build_config(args)
+    model = DeploymentModel.from_config(cfg)
+    rows = [
+        ["expected cluster size", model.cluster_size],
+        ["target coverage probability", model.target_coverage_probability],
+        ["member power draw (mW)", model.member_power_w * 1000],
+        ["recharge requests / day", model.requests_per_day],
+        ["fleet lower bound (RVs)", model.fleet_lower_bound(cfg.charge_model.power_w,
+                                                            cfg.rv_speed_mps)],
+    ]
+    print(format_table(["estimate", "value"], rows, precision=3,
+                       title="Closed-form deployment estimates (no simulation)"))
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from .sim.world import World
+    from .viz.ascii import render_field
+    from .viz.svg import field_svg, write_svg
+
+    cfg = _build_config(args)
+    world = World(cfg)
+    horizon = min(args.at_hours * 3600.0, cfg.sim_time_s)
+    world.sim.run_until(horizon)
+    world._advance_energy()
+    snap = world.snapshot()
+    if args.svg:
+        write_svg(args.svg, field_svg(snap, cfg.side_length_m,
+                                      sensing_range=cfg.sensing_range_m,
+                                      title=f"t = {horizon / 3600:.1f} h"))
+        print(f"wrote {args.svg}")
+    else:
+        print(render_field(snap, cfg.side_length_m))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .experiments import (
+        current_scale,
+        format_fig4,
+        format_fig5,
+        format_fig7_panel,
+        format_panel,
+        run_fig4,
+        run_fig5,
+        run_fig6,
+    )
+    from .experiments.fig6_schemes import panel_a, panel_b, panel_c, panel_d
+    from .experiments.fig7_profit import panel_a as f7a
+    from .experiments.fig7_profit import panel_b as f7b
+
+    scale = current_scale()
+    fig = args.id
+    if fig == "4":
+        print(format_fig4(run_fig4(scale)))
+    elif fig == "5":
+        print(format_fig5(run_fig5(scale)))
+    elif fig in ("6a", "6b", "6c", "6d"):
+        sweep = run_fig6(scale)
+        panel = {"6a": panel_a, "6b": panel_b, "6c": panel_c, "6d": panel_d}[fig]
+        print(format_panel(fig[-1], panel(sweep)))
+    elif fig in ("7a", "7b"):
+        sweep = run_fig6(scale)
+        panel = f7a if fig == "7a" else f7b
+        print(format_fig7_panel(fig[-1], panel(sweep)))
+    else:
+        print(f"unknown figure {fig!r}; choose 4, 5, 6a-6d, 7a, 7b", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sim.runner import run_seeds
+    from .utils.stats import mean_std
+
+    base = _build_config(args)
+    schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+    erps = [float(x) for x in args.erps.split(",") if x.strip()]
+    seeds = [int(x) for x in args.seeds.split(",") if x.strip()]
+    metric = args.metric
+    headers = ["ERP"] + schedulers
+    rows = []
+    for erp in erps:
+        row: list = [erp]
+        for sched in schedulers:
+            cfg = base.with_overrides(scheduler=sched, erp=erp)
+            values = [s.as_dict()[metric] for s in run_seeds(cfg, seeds)]
+            m, sd = mean_std(values)
+            row.append(f"{m:.4g} +/- {sd:.2g}")
+        rows.append(row)
+    print(
+        format_table(
+            headers,
+            rows,
+            title=f"{metric} vs ERP ({base.sim_time_s / 86400:.1f} days, seeds {seeds})",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WRSN joint charging & activity management (ICPP 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one simulation")
+    _add_config_args(p_run)
+    p_run.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_est = sub.add_parser("estimate", help="closed-form deployment estimates")
+    _add_config_args(p_est)
+    p_est.set_defaults(func=_cmd_estimate)
+
+    p_map = sub.add_parser("map", help="draw the field state")
+    _add_config_args(p_map)
+    p_map.add_argument("--at-hours", type=float, default=6.0,
+                       help="simulated hours before taking the snapshot")
+    p_map.add_argument("--svg", metavar="FILE", help="write an SVG instead of ASCII")
+    p_map.set_defaults(func=_cmd_map)
+
+    p_fig = sub.add_parser("figure", help="regenerate one paper figure (REPRO_SCALE applies)")
+    p_fig.add_argument("id", help="4, 5, 6a, 6b, 6c, 6d, 7a or 7b")
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_sweep = sub.add_parser("sweep", help="custom ERP x scheduler sweep")
+    _add_config_args(p_sweep)
+    p_sweep.add_argument(
+        "--schedulers", default="greedy,partition,combined",
+        help="comma-separated scheduler names",
+    )
+    p_sweep.add_argument(
+        "--erps", default="0,0.2,0.4,0.6,0.8,1.0", help="comma-separated ERP values"
+    )
+    p_sweep.add_argument(
+        "--metric", default="traveling_energy_j",
+        help="summary metric to tabulate (see SimulationSummary.as_dict)",
+    )
+    p_sweep.add_argument(
+        "--seeds", default="1,2", help="comma-separated seeds (mean +/- std reported)"
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Generic clustering substrate (K-means for the Partition-Scheme)."""
+
+from .kmeans import KMeansResult, kmeans, wcss
+
+__all__ = ["KMeansResult", "kmeans", "wcss"]

@@ -1,0 +1,85 @@
+"""The paper's contribution: activity management and recharge scheduling."""
+
+from .activation import FullTimeActivator, RoundRobinActivator
+from .clustering import Cluster, ClusterSet, balanced_clustering, nearest_target_clustering
+from .combined import CombinedScheduler
+from .erc import (
+    AdaptiveEnergyRequestController,
+    EnergyRequestController,
+    erc_travel_energy_bound,
+    release_count_needed,
+)
+from .extensions import (
+    DeadlineAwareScheduler,
+    FCFSScheduler,
+    NearestFirstScheduler,
+    TwoOptInsertionScheduler,
+)
+from .greedy import GreedyScheduler, greedy_destination
+from .insertion import InsertionScheduler, build_insertion_sequence, expand_stops
+from .mip import (
+    ExactSolution,
+    FleetSolution,
+    RechargeInstance,
+    solve_exact_fleet,
+    solve_exact_single_rv,
+    verify_routes,
+)
+from .partition import PartitionScheduler, partition_requests
+from .profit import (
+    insertion_profit_delta,
+    node_profits,
+    route_profit,
+    route_travel_cost,
+    total_objective,
+)
+from .requests import (
+    AggregatedRequest,
+    RechargeNodeList,
+    RechargeRequest,
+    aggregate_by_cluster,
+)
+from .scheduling import PlannedRoute, RVView, Scheduler
+
+__all__ = [
+    "AdaptiveEnergyRequestController",
+    "AggregatedRequest",
+    "Cluster",
+    "ClusterSet",
+    "CombinedScheduler",
+    "DeadlineAwareScheduler",
+    "EnergyRequestController",
+    "ExactSolution",
+    "FCFSScheduler",
+    "FleetSolution",
+    "FullTimeActivator",
+    "GreedyScheduler",
+    "InsertionScheduler",
+    "NearestFirstScheduler",
+    "PartitionScheduler",
+    "TwoOptInsertionScheduler",
+    "PlannedRoute",
+    "RVView",
+    "RechargeInstance",
+    "RechargeNodeList",
+    "RechargeRequest",
+    "RoundRobinActivator",
+    "Scheduler",
+    "aggregate_by_cluster",
+    "balanced_clustering",
+    "build_insertion_sequence",
+    "erc_travel_energy_bound",
+    "expand_stops",
+    "greedy_destination",
+    "insertion_profit_delta",
+    "nearest_target_clustering",
+    "node_profits",
+    "partition_requests",
+    "release_count_needed",
+    "route_profit",
+    "route_travel_cost",
+    "solve_exact_fleet",
+    "solve_exact_single_rv",
+    "total_objective",
+    "verify_routes",
+]

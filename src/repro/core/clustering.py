@@ -1,0 +1,183 @@
+"""Balanced cluster formation (the paper's Algorithm 1).
+
+A cluster is the set of sensors assigned to monitor one target.  The
+balanced clustering algorithm equalizes cluster sizes so no cluster
+drains (and therefore requests recharge) much faster than the others:
+
+* **Phase 1** builds, for every target ``i``, the candidate set ``P(i)``
+  of sensors whose sensing disk contains it, and the pool ``A`` of all
+  sensors that can see at least one target.  A sensor's *load* is the
+  number of targets it can see; ``A`` is processed in ascending load
+  order so sensors with fewer options are placed first.
+* **Phase 2** walks ``A`` and assigns each sensor to the eligible
+  target whose cluster is currently smallest (ties broken by target
+  index, matching a stable ascending sort of the size counter ``U``).
+
+Every sensor monitors at most one target (constraint (5)); targets seen
+by no sensor simply get an empty cluster — constraint (6) is a property
+of the deployment density, not something assignment can conjure.
+
+A nearest-target baseline (:func:`nearest_target_clustering`) is
+provided for the clustering ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..geometry.coverage import detectors_of_targets
+from ..geometry.points import as_points
+
+__all__ = ["Cluster", "ClusterSet", "balanced_clustering", "nearest_target_clustering"]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One target's cluster.
+
+    Attributes:
+        cluster_id: index of the target this cluster monitors.
+        members: sensor indices, sorted ascending — the round-robin
+            rotation order starts from the lowest ID (Section III-C).
+    """
+
+    cluster_id: int
+    members: np.ndarray
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.members, dtype=np.intp)
+        object.__setattr__(self, "members", np.sort(m))
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+class ClusterSet:
+    """All clusters of one target epoch, plus the sensor-to-cluster map.
+
+    Args:
+        clusters: one :class:`Cluster` per target (index-aligned).
+        n_sensors: total sensors in the network, for the membership map.
+    """
+
+    def __init__(self, clusters: Sequence[Cluster], n_sensors: int) -> None:
+        self.clusters: List[Cluster] = list(clusters)
+        self.n_sensors = int(n_sensors)
+        self.membership = np.full(n_sensors, -1, dtype=np.int64)
+        for c in self.clusters:
+            if np.any(self.membership[c.members] >= 0):
+                raise ValueError("a sensor was assigned to more than one cluster")
+            self.membership[c.members] = c.cluster_id
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def __iter__(self):
+        return iter(self.clusters)
+
+    def __getitem__(self, idx: int) -> Cluster:
+        return self.clusters[idx]
+
+    def sizes(self) -> np.ndarray:
+        """Cluster sizes, index-aligned with targets."""
+        return np.array([c.size for c in self.clusters], dtype=np.int64)
+
+    def clustered_mask(self) -> np.ndarray:
+        """Boolean mask over sensors: belongs to some cluster."""
+        return self.membership >= 0
+
+    def cluster_of(self, sensor: int) -> int:
+        """Cluster id of ``sensor`` or ``-1``."""
+        return int(self.membership[sensor])
+
+    def spread(self) -> int:
+        """Max minus min cluster size over non-empty-capable clusters —
+        the balance figure of merit (0 is perfectly balanced)."""
+        sizes = self.sizes()
+        if len(sizes) == 0:
+            return 0
+        return int(sizes.max() - sizes.min())
+
+
+def balanced_clustering(
+    sensors: np.ndarray,
+    targets: np.ndarray,
+    sensing_range: float,
+) -> ClusterSet:
+    """Algorithm 1: balanced cluster formation.
+
+    Args:
+        sensors: ``(n, 2)`` sensor positions.
+        targets: ``(m, 2)`` target positions.
+        sensing_range: detection radius ``ds``.
+
+    Returns:
+        A :class:`ClusterSet` with one cluster per target.  Sensors that
+        see no target stay unassigned; targets seen by no sensor get an
+        empty cluster.
+    """
+    sensors = as_points(sensors)
+    targets = as_points(targets)
+    m = len(targets)
+    n = len(sensors)
+
+    # --- Phase 1: candidate sets P(i), pool A, sensor loads. ---
+    candidates = detectors_of_targets(sensors, targets, sensing_range)
+    load = np.zeros(n, dtype=np.int64)
+    eligible = [set() for _ in range(n)]  # targets each sensor can see
+    for t_idx, det in enumerate(candidates):
+        for s in det:
+            load[s] += 1
+            eligible[s].add(t_idx)
+    pool = np.flatnonzero(load > 0)
+    # Ascending load; ties by sensor id for determinism.
+    pool = pool[np.lexsort((pool, load[pool]))]
+
+    # --- Phase 2: fill the smallest eligible cluster first. ---
+    counts = np.zeros(m, dtype=np.int64)
+    assignment: List[List[int]] = [[] for _ in range(m)]
+    for s in pool:
+        opts = eligible[s]
+        if not opts:
+            continue
+        # sort(U, 'ascending') with stable target-index tie-break, then
+        # take the first target whose P-set contains the sensor.
+        best = min(opts, key=lambda t: (counts[t], t))
+        assignment[best].append(int(s))
+        counts[best] += 1
+
+    clusters = [Cluster(t, np.array(mem, dtype=np.intp)) for t, mem in enumerate(assignment)]
+    return ClusterSet(clusters, n)
+
+
+def nearest_target_clustering(
+    sensors: np.ndarray,
+    targets: np.ndarray,
+    sensing_range: float,
+) -> ClusterSet:
+    """Baseline: each covering sensor joins its *nearest* detected target.
+
+    The natural unbalanced strategy the paper's balancing argument is
+    made against — dense spots produce fat clusters, sparse spots
+    starve.  Used by the clustering ablation (DESIGN.md A2).
+    """
+    sensors = as_points(sensors)
+    targets = as_points(targets)
+    m = len(targets)
+    n = len(sensors)
+    assignment: List[List[int]] = [[] for _ in range(m)]
+    if m > 0 and n > 0:
+        diff = sensors[:, None, :] - targets[None, :, :]
+        dist = np.hypot(diff[..., 0], diff[..., 1])
+        in_range = dist <= sensing_range
+        sees_any = in_range.any(axis=1)
+        masked = np.where(in_range, dist, np.inf)
+        nearest = np.argmin(masked, axis=1)
+        for s in np.flatnonzero(sees_any):
+            assignment[nearest[s]].append(int(s))
+    clusters = [Cluster(t, np.array(mem, dtype=np.intp)) for t, mem in enumerate(assignment)]
+    return ClusterSet(clusters, n)

@@ -1,0 +1,110 @@
+"""The greedy baseline (Algorithm 2).
+
+Each step, each RV with enough energy drives to the single listed node
+with the maximum recharge profit ``d_i - em * dist(rv, i)`` and
+recharges *only that node*.  No look-ahead, no cluster batching — the
+paper introduces it precisely to expose how much traveling energy a
+profit-myopic policy wastes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..geometry.points import distance
+from .profit import node_profits
+from .requests import RechargeNodeList, RechargeRequest
+from .scheduling import PlannedRoute, RVView
+
+__all__ = ["GreedyScheduler", "greedy_destination"]
+
+
+def greedy_destination(
+    demands: np.ndarray,
+    positions: np.ndarray,
+    rv_position: np.ndarray,
+    em_j_per_m: float,
+) -> Optional[int]:
+    """Index of the max-profit node (Algorithm 2, line 8).
+
+    Ties resolve to the lowest index.  Returns ``None`` for an empty
+    instance.  The paper's greedy picks the best node even at negative
+    profit — starving nodes must still be served.
+    """
+    if len(demands) == 0:
+        return None
+    profits = node_profits(demands, positions, rv_position, em_j_per_m)
+    return int(np.argmax(profits))
+
+
+class _GreedyState:
+    """One RV's virtual state while Algorithm 2's loop runs."""
+
+    __slots__ = ("rv", "position", "budget", "picked", "flag")
+
+    def __init__(self, rv: RVView) -> None:
+        self.rv = rv
+        self.position = rv.position
+        self.budget = rv.budget_j
+        self.picked: List[RechargeRequest] = []
+        self.flag = True  # "this RV has enough energy" (Alg. 2 line 1)
+
+
+class GreedyScheduler:
+    """Online Algorithm 2.
+
+    Per scheduling round the paper's loop runs to exhaustion: while the
+    list is non-empty and some RV still has energy, each RV in turn
+    takes the max-profit node *from its current (virtual) position*,
+    updates its position and energy books, and continues.  The chains
+    so produced are each RV's itinerary for the round.  No route
+    planning, no cluster batching — exactly the baseline's myopia.
+    """
+
+    name = "greedy"
+
+    def assign(
+        self,
+        requests: RechargeNodeList,
+        idle_rvs: List[RVView],
+        rng: np.random.Generator,
+    ) -> Dict[int, PlannedRoute]:
+        states = [_GreedyState(rv) for rv in idle_rvs]
+        while len(requests) > 0 and any(s.flag for s in states):
+            for st in states:
+                snapshot = requests.snapshot()
+                if not snapshot:
+                    break
+                if not st.flag:
+                    continue
+                positions = np.vstack([r.position for r in snapshot])
+                demands = np.array([r.demand_j for r in snapshot])
+                idx = greedy_destination(demands, positions, st.position, st.rv.em_j_per_m)
+                chosen = snapshot[idx]
+                travel = distance(st.position, chosen.position)
+                cost = travel * st.rv.em_j_per_m + st.rv.delivery_cost(chosen.demand_j)
+                if cost > st.budget + 1e-9:
+                    st.flag = False  # recharge threshold of h_i violated
+                    continue
+                st.picked.append(chosen)
+                st.budget -= cost
+                st.position = chosen.position
+                requests.remove(chosen.node_id)
+        plans: Dict[int, PlannedRoute] = {}
+        for st in states:
+            if not st.picked:
+                continue
+            waypoints = np.vstack([st.rv.position] + [r.position for r in st.picked])
+            seg = np.diff(waypoints, axis=0)
+            travel = float(np.hypot(seg[:, 0], seg[:, 1]).sum())
+            demand = float(sum(r.demand_j for r in st.picked))
+            plans[st.rv.rv_id] = PlannedRoute(
+                node_ids=tuple(r.node_id for r in st.picked),
+                waypoints=waypoints,
+                travel_m=travel,
+                demand_j=demand,
+                profit_j=demand - st.rv.em_j_per_m * travel,
+            )
+        return plans

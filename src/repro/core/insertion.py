@@ -1,0 +1,262 @@
+"""Single-RV recharging-sequence construction (Algorithm 3).
+
+The heuristic that replaces the greedy baseline:
+
+1. Pick the max-profit node as the sortie's **destination** and open the
+   route ``Q = [crt -> dest]``.
+2. Repeatedly evaluate the *profit difference*
+   ``p(s, n) = D(n) - em * delta_d(s)`` of inserting each unscheduled
+   node ``n`` at each position ``s`` of the route, and perform the most
+   profitable insertion as long as it is strictly positive and the RV
+   can still afford the grown route.
+3. Stop when no insertion is positive/affordable; the route is the RV's
+   recharging sequence.
+
+Scheduling operates on *aggregated* cluster super-nodes (Section IV-C):
+a cluster's pending demands enter the route as one stop with the summed
+demand, and the final sequence expands each cluster stop into the
+paper's O(nc^2) nearest-neighbour member tour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry.points import distance, distances_from
+from .requests import AggregatedRequest, RechargeNodeList, aggregate_by_cluster
+from .scheduling import PlannedRoute, RVView
+
+__all__ = ["InsertionScheduler", "build_insertion_sequence", "expand_stops"]
+
+
+def build_insertion_sequence(
+    stops: Sequence[AggregatedRequest],
+    rv_position: np.ndarray,
+    budget_j: float,
+    em_j_per_m: float,
+    charge_efficiency: float = 1.0,
+) -> List[int]:
+    """Algorithm 3 over super-nodes; returns stop indices in visit order.
+
+    Args:
+        stops: candidate super-nodes (aggregated requests).
+        rv_position: the RV's current location (``crt``).
+        budget_j: remaining sortie energy for travel plus delivery.
+        em_j_per_m: traveling energy rate.
+        charge_efficiency: delivering ``d`` costs ``d / efficiency``.
+
+    Returns:
+        Indices into ``stops``; empty if even the best destination is
+        unaffordable.  The destination (first chosen, highest profit)
+        is always the *last* element — insertions happen strictly
+        between the RV and the destination.
+    """
+    n = len(stops)
+    if n == 0 or budget_j <= 0:
+        return []
+    rv_position = np.asarray(rv_position, dtype=np.float64).reshape(2)
+    positions = np.vstack([s.position for s in stops])
+    demands = np.array([s.demand_j for s in stops], dtype=np.float64)
+    dist0 = distances_from(rv_position, positions)
+    profits = demands - em_j_per_m * dist0
+    costs = em_j_per_m * dist0 + demands / charge_efficiency
+
+    # Destination: best profit among affordable nodes (Alg. 3 line 2,
+    # "Update RV's information to reserve energy for the dest node").
+    affordable = costs <= budget_j + 1e-9
+    if not np.any(affordable):
+        return []
+    masked = np.where(affordable, profits, -np.inf)
+    dest = int(np.argmax(masked))
+
+    route = [dest]  # stop indices; waypoint list is [rv] + route
+    spent = costs[dest]
+    remaining = [i for i in range(n) if i != dest]
+
+    inserted = True
+    while inserted and remaining and spent < budget_j:
+        inserted = False
+        waypoints = np.vstack([rv_position, positions[route]])
+        k = len(waypoints)
+        # Evaluate p(s, n) for every gap s and every remaining node n.
+        a = waypoints[:-1]  # (k-1, 2) gap starts
+        b = waypoints[1:]  # (k-1, 2) gap ends
+        cand = positions[remaining]  # (r, 2)
+        d_ac = np.hypot(a[:, None, 0] - cand[None, :, 0], a[:, None, 1] - cand[None, :, 1])
+        d_cb = np.hypot(cand[None, :, 0] - b[:, None, 0], cand[None, :, 1] - b[:, None, 1])
+        d_ab = np.hypot(b[:, 0] - a[:, 0], b[:, 1] - a[:, 1])
+        detour = d_ac + d_cb - d_ab[:, None]  # (k-1, r)
+        p = demands[remaining][None, :] - em_j_per_m * detour
+        extra_cost = em_j_per_m * detour + (demands[remaining] / charge_efficiency)[None, :]
+        feasible = (p > 1e-12) & (spent + extra_cost <= budget_j + 1e-9)
+        if not np.any(feasible):
+            break
+        p_masked = np.where(feasible, p, -np.inf)
+        flat = int(np.argmax(p_masked))
+        s0, n0 = np.unravel_index(flat, p_masked.shape)
+        stop_idx = remaining.pop(int(n0))
+        route.insert(int(s0), stop_idx)  # position s0 = after waypoint s0
+        spent += float(extra_cost[s0, n0])
+        inserted = True
+        del waypoints, k
+    return route
+
+
+def expand_stops(
+    stops: Sequence[AggregatedRequest],
+    order: Sequence[int],
+    rv_position: np.ndarray,
+) -> PlannedRoute:
+    """Expand a super-node visit order into a sensor-level route.
+
+    Each cluster stop unrolls into its nearest-neighbour member tour
+    entered from wherever the RV last stood; travel and demand are then
+    re-measured on the expanded polyline (the planner's centroid
+    approximation is replaced by exact member positions).
+    """
+    rv_position = np.asarray(rv_position, dtype=np.float64).reshape(2)
+    node_ids: List[int] = []
+    waypoints = [rv_position]
+    demand = 0.0
+    entry = rv_position
+    member_pos = {}
+    for idx in order:
+        stop = stops[idx]
+        ordered_ids = stop.visit_order_from(entry)
+        for r in stop.members:
+            member_pos[r.node_id] = r.position
+        for nid in ordered_ids:
+            node_ids.append(nid)
+            waypoints.append(member_pos[nid])
+        demand += stop.demand_j
+        entry = waypoints[-1]
+    wp = np.vstack(waypoints)
+    seg = np.diff(wp, axis=0)
+    travel = float(np.hypot(seg[:, 0], seg[:, 1]).sum()) if len(wp) > 1 else 0.0
+    return PlannedRoute(
+        node_ids=tuple(node_ids),
+        waypoints=wp,
+        travel_m=travel,
+        demand_j=demand,
+        profit_j=demand - 0.0,  # caller overwrites with its em; see plan()
+    )
+
+
+def plan_single_rv(
+    requests: Sequence,
+    rv: RVView,
+) -> Optional[PlannedRoute]:
+    """Plan one recharging sequence for one RV (cluster-aware).
+
+    The insertion feasibility check prices a cluster at its centroid;
+    after expanding each cluster into its member tour the route is
+    re-measured against the budget, and trailing stops are trimmed if
+    the expansion overran it — constraint (7) holds on the *actual*
+    route, not the approximation.
+    """
+    stops = aggregate_by_cluster(requests)
+    order = build_insertion_sequence(
+        stops, rv.position, rv.budget_j, rv.em_j_per_m, rv.charge_efficiency
+    )
+    kept = list(order)
+    route = None
+    while kept:
+        route = expand_stops(stops, kept, rv.position)
+        cost = route.travel_m * rv.em_j_per_m + route.demand_j / rv.charge_efficiency
+        if cost <= rv.budget_j + 1e-6:
+            break
+        kept.pop()
+        route = None
+    if route is None:
+        return None
+    profit = route.demand_j - rv.em_j_per_m * route.travel_m
+    return PlannedRoute(
+        node_ids=route.node_ids,
+        waypoints=route.waypoints,
+        travel_m=route.travel_m,
+        demand_j=route.demand_j,
+        profit_j=profit,
+    )
+
+
+def plan_single_rv_chained(
+    requests: List,
+    rv: RVView,
+) -> Optional[PlannedRoute]:
+    """Repeat Algorithm 3 until the list or the RV budget is exhausted.
+
+    "After the RV finishes its current recharging sequence, the
+    algorithm is repeated until all the nodes in R are recharged"
+    (Section IV-C) — successive sequences are planned from wherever the
+    previous one ended, with whatever budget remains, and chained into
+    one itinerary.  ``requests`` is consumed in place.
+    """
+    remaining = list(requests)
+    position = rv.position
+    budget = rv.budget_j
+    chained_ids: List[int] = []
+    waypoints = [np.asarray(position, dtype=np.float64).reshape(2)]
+    total_travel = 0.0
+    total_demand = 0.0
+    while remaining and budget > 0:
+        view = RVView(
+            rv_id=rv.rv_id,
+            position=position,
+            budget_j=budget,
+            em_j_per_m=rv.em_j_per_m,
+            charge_efficiency=rv.charge_efficiency,
+            depot=rv.depot,
+        )
+        plan = plan_single_rv(remaining, view)
+        if plan is None or len(plan) == 0:
+            break
+        chained_ids.extend(plan.node_ids)
+        waypoints.extend(plan.waypoints[1:])
+        total_travel += plan.travel_m
+        total_demand += plan.demand_j
+        budget -= plan.travel_m * rv.em_j_per_m + plan.demand_j / rv.charge_efficiency
+        position = plan.waypoints[-1]
+        served = set(plan.node_ids)
+        remaining = [r for r in remaining if r.node_id not in served]
+    if not chained_ids:
+        return None
+    requests[:] = remaining
+    return PlannedRoute(
+        node_ids=tuple(chained_ids),
+        waypoints=np.vstack(waypoints),
+        travel_m=total_travel,
+        demand_j=total_demand,
+        profit_j=total_demand - rv.em_j_per_m * total_travel,
+    )
+
+
+class InsertionScheduler:
+    """Online Algorithm 3 for a single RV (Section IV-C).
+
+    With one RV this *is* the paper's single-RV algorithm; with several
+    it behaves like the Combined-Scheme (each idle RV plans against
+    what is left of the global list), which is why
+    :class:`~repro.core.combined.CombinedScheduler` subclasses it.
+    """
+
+    name = "insertion"
+
+    def assign(
+        self,
+        requests: RechargeNodeList,
+        idle_rvs: List[RVView],
+        rng: np.random.Generator,
+    ) -> Dict[int, PlannedRoute]:
+        plans: Dict[int, PlannedRoute] = {}
+        for rv in idle_rvs:
+            snapshot = requests.snapshot()
+            if not snapshot:
+                break
+            plan = plan_single_rv_chained(snapshot, rv)
+            if plan is None or len(plan) == 0:
+                continue
+            plans[rv.rv_id] = plan
+            requests.remove_many(plan.node_ids)
+        return plans

@@ -1,0 +1,416 @@
+"""The JRSSAM optimization problem (Section IV-A) and an exact solver.
+
+The paper formulates Joint Recharge Scheduling and Sensor Activity
+Management as a mixed-integer program: maximize Eq. (2) — delivered
+demand minus traveling cost — subject to tour structure (3)-(4),
+monitoring constraints (5)-(6), the RV capacity (7), assignment
+constraints (8)-(9), integrality (10)-(12) and Miller-Tucker-Zemlin
+style subtour elimination (13)-(14).  Its infinite-capacity special
+case is the Traveling Salesman Problem with Profits, so the problem is
+NP-hard.
+
+This module provides:
+
+* :class:`RechargeInstance` — the problem data (positions, demands,
+  depot/RV start, ``em``, capacity).
+* :func:`verify_routes` — checks a candidate fleet solution against the
+  formulation's constraints and computes its objective.  The test suite
+  runs every heuristic's output through it.
+* :func:`solve_exact_single_rv` — a Held-Karp dynamic program over node
+  subsets that returns the *provably optimal* single-RV route for small
+  instances (n <= ~15), used to measure the insertion heuristic's
+  optimality gap (DESIGN.md ablation A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.points import as_points, pairwise_distances
+
+__all__ = [
+    "ExactSolution",
+    "FleetSolution",
+    "RechargeInstance",
+    "solve_exact_fleet",
+    "solve_exact_single_rv",
+    "verify_routes",
+]
+
+
+@dataclass(frozen=True)
+class RechargeInstance:
+    """Data of one recharge-scheduling instance.
+
+    Attributes:
+        positions: ``(n, 2)`` node positions (the recharge node list).
+        demands: ``(n,)`` energy demands ``d_i``.
+        start: RV start position (``v0`` in the closed formulation; the
+            RV's current location in the heuristics' open-route mode).
+        em_j_per_m: traveling energy rate, making
+            ``c_ij = em * ||p_i - p_j||``.
+        capacity_j: RV budget ``Cr``; ``inf`` recovers pure TSP-with-
+            profits.
+        closed: whether routes must return to ``start`` (the paper's
+            constraint (3)); the online heuristics use open routes.
+    """
+
+    positions: np.ndarray
+    demands: np.ndarray
+    start: np.ndarray
+    em_j_per_m: float = 5.6
+    capacity_j: float = float("inf")
+    closed: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "positions", as_points(self.positions))
+        object.__setattr__(self, "demands", np.asarray(self.demands, dtype=np.float64))
+        object.__setattr__(self, "start", np.asarray(self.start, dtype=np.float64).reshape(2))
+        if self.demands.shape != (len(self.positions),):
+            raise ValueError("demands must align with positions")
+        if np.any(self.demands < 0):
+            raise ValueError("demands must be non-negative")
+        if self.em_j_per_m < 0:
+            raise ValueError("em_j_per_m must be non-negative")
+        if self.capacity_j <= 0:
+            raise ValueError("capacity_j must be positive")
+
+    @property
+    def n(self) -> int:
+        return len(self.positions)
+
+    def route_length(self, order: Sequence[int]) -> float:
+        """Meters traveled serving ``order`` from ``start`` (+ return if
+        the instance is closed)."""
+        order = list(order)
+        if not order:
+            return 0.0
+        pts = np.vstack([self.start, self.positions[order]])
+        if self.closed:
+            pts = np.vstack([pts, self.start])
+        seg = np.diff(pts, axis=0)
+        return float(np.hypot(seg[:, 0], seg[:, 1]).sum())
+
+    def route_cost(self, order: Sequence[int]) -> float:
+        """Traveling energy of a route."""
+        return self.em_j_per_m * self.route_length(order)
+
+    def route_profit(self, order: Sequence[int]) -> float:
+        """Eq. (2) contribution of one route."""
+        order = list(order)
+        return float(self.demands[order].sum()) - self.route_cost(order)
+
+    def route_feasible(self, order: Sequence[int]) -> bool:
+        """Constraint (7): demand plus traveling energy within ``Cr``."""
+        order = list(order)
+        used = float(self.demands[order].sum()) + self.route_cost(order)
+        return used <= self.capacity_j + 1e-9
+
+
+@dataclass(frozen=True)
+class ExactSolution:
+    """Optimal single-RV route for a :class:`RechargeInstance`.
+
+    Attributes:
+        order: node visit order (possibly empty — serving nothing is
+            feasible and optimal when every profit is negative).
+        profit: the optimal Eq. (2) value.
+        explored_subsets: size of the DP state space, for reporting.
+    """
+
+    order: Tuple[int, ...]
+    profit: float
+    explored_subsets: int
+
+
+def solve_exact_single_rv(
+    instance: RechargeInstance,
+    allow_skip: bool = True,
+) -> ExactSolution:
+    """Provably optimal single-RV route by Held-Karp subset DP.
+
+    For every subset ``S`` of nodes the DP computes the minimum-length
+    path from the start visiting all of ``S`` (ending anywhere); since
+    both the objective and the capacity constraint improve with shorter
+    routes, the min-length order is optimal for its subset, and the
+    best feasible subset wins.  Complexity ``O(2^n n^2)`` — fine for the
+    n <= 15 instances the validation benchmarks use.
+
+    Args:
+        instance: the problem data.
+        allow_skip: when False, the route must serve *all* nodes
+            (classical TSP path mode, used to cross-check the DP against
+            brute-force permutations in tests).
+    """
+    n = instance.n
+    if n == 0:
+        return ExactSolution((), 0.0, 0)
+    if n > 20:
+        raise ValueError(f"exact solver limited to 20 nodes, got {n}")
+    pos = instance.positions
+    dem = instance.demands
+    em = instance.em_j_per_m
+    d_start = np.hypot(pos[:, 0] - instance.start[0], pos[:, 1] - instance.start[1])
+    dmat = pairwise_distances(pos)
+    size = 1 << n
+    INF = np.inf
+    # dp[mask][last]: min path length from start visiting mask, ending at last.
+    dp = np.full((size, n), INF, dtype=np.float64)
+    parent = np.full((size, n), -1, dtype=np.int64)
+    for j in range(n):
+        dp[1 << j][j] = d_start[j]
+    for mask in range(1, size):
+        row = dp[mask]
+        for last in range(n):
+            cur = row[last]
+            if not np.isfinite(cur):
+                continue
+            rest = (~mask) & (size - 1)
+            nxt = rest
+            while nxt:
+                j = (nxt & -nxt).bit_length() - 1
+                nmask = mask | (1 << j)
+                cand = cur + dmat[last, j]
+                if cand < dp[nmask][j]:
+                    dp[nmask][j] = cand
+                    parent[nmask][j] = last
+                nxt &= nxt - 1
+
+    best_profit = 0.0 if allow_skip else -np.inf
+    best_mask, best_last = 0, -1
+    subset_demand = np.zeros(size, dtype=np.float64)
+    for mask in range(1, size):
+        j = (mask & -mask).bit_length() - 1
+        subset_demand[mask] = subset_demand[mask & (mask - 1)] + dem[j]
+    masks = range(1, size) if allow_skip else [size - 1]
+    for mask in masks:
+        finite = np.isfinite(dp[mask])
+        if not np.any(finite):
+            continue
+        lengths = dp[mask]
+        if instance.closed:
+            lengths = lengths + d_start  # return leg to the start/depot
+        total_d = subset_demand[mask]
+        feas = total_d + em * lengths <= instance.capacity_j + 1e-9
+        cand = np.where(finite & feas, total_d - em * lengths, -np.inf)
+        j = int(np.argmax(cand))
+        if cand[j] > best_profit:
+            best_profit = float(cand[j])
+            best_mask, best_last = mask, j
+
+    if best_last < 0:
+        return ExactSolution((), float(best_profit) if np.isfinite(best_profit) else 0.0, size)
+    order: List[int] = []
+    mask, last = best_mask, best_last
+    while last >= 0:
+        order.append(last)
+        prev = int(parent[mask][last])
+        mask &= ~(1 << last)
+        last = prev
+    order.reverse()
+    return ExactSolution(tuple(order), best_profit, size)
+
+
+def _single_rv_tables(instance: RechargeInstance):
+    """Held-Karp tables shared by the single-RV and fleet solvers.
+
+    Returns ``(dp, parent, profit_exact)`` where ``profit_exact[mask]``
+    is the optimal profit of serving *exactly* the nodes in ``mask``
+    with one RV (``-inf`` when infeasible), and ``dp/parent`` recover
+    the corresponding min-length order.
+    """
+    n = instance.n
+    pos = instance.positions
+    dem = instance.demands
+    em = instance.em_j_per_m
+    d_start = np.hypot(pos[:, 0] - instance.start[0], pos[:, 1] - instance.start[1])
+    dmat = pairwise_distances(pos)
+    size = 1 << n
+    dp = np.full((size, n), np.inf, dtype=np.float64)
+    parent = np.full((size, n), -1, dtype=np.int64)
+    for j in range(n):
+        dp[1 << j][j] = d_start[j]
+    for mask in range(1, size):
+        row = dp[mask]
+        for last in range(n):
+            cur = row[last]
+            if not np.isfinite(cur):
+                continue
+            rest = (~mask) & (size - 1)
+            nxt = rest
+            while nxt:
+                j = (nxt & -nxt).bit_length() - 1
+                nmask = mask | (1 << j)
+                cand = cur + dmat[last, j]
+                if cand < dp[nmask][j]:
+                    dp[nmask][j] = cand
+                    parent[nmask][j] = last
+                nxt &= nxt - 1
+    subset_demand = np.zeros(size, dtype=np.float64)
+    for mask in range(1, size):
+        j = (mask & -mask).bit_length() - 1
+        subset_demand[mask] = subset_demand[mask & (mask - 1)] + dem[j]
+    lengths = dp.copy()
+    if instance.closed:
+        lengths = lengths + d_start[None, :]
+    # min over the `last` axis; rows with no finite entry stay +inf.
+    best_len = lengths.min(axis=1)
+    profit_exact = np.full(size, -np.inf, dtype=np.float64)
+    profit_exact[0] = 0.0
+    feasible = subset_demand + em * best_len <= instance.capacity_j + 1e-9
+    valid = np.isfinite(best_len) & feasible
+    valid[0] = False
+    profit_exact[valid] = subset_demand[valid] - em * best_len[valid]
+    return dp, parent, profit_exact
+
+
+def _recover_order(instance: RechargeInstance, dp, parent, mask: int) -> Tuple[int, ...]:
+    """Min-length visiting order of the exact subset ``mask``."""
+    if mask == 0:
+        return ()
+    lengths = dp[mask].copy()
+    if instance.closed:
+        pos = instance.positions
+        d_start = np.hypot(pos[:, 0] - instance.start[0], pos[:, 1] - instance.start[1])
+        lengths = lengths + d_start
+    last = int(np.argmin(lengths))
+    order: List[int] = []
+    m = mask
+    while last >= 0:
+        order.append(last)
+        prev = int(parent[m][last])
+        m &= ~(1 << last)
+        last = prev
+    order.reverse()
+    return tuple(order)
+
+
+@dataclass(frozen=True)
+class FleetSolution:
+    """Optimal multi-RV solution for small instances.
+
+    Attributes:
+        routes: one visiting order per RV (possibly empty tuples).
+        profit: the optimal total Eq. (2) value.
+    """
+
+    routes: Tuple[Tuple[int, ...], ...]
+    profit: float
+
+
+def solve_exact_fleet(instance: RechargeInstance, n_rvs: int) -> FleetSolution:
+    """Provably optimal fleet schedule by subset-partition DP.
+
+    All RVs start at ``instance.start`` (the paper's base station, per
+    constraint (3)) and share the per-sortie capacity.  The DP layers
+    one RV at a time over the 3^n submask lattice:
+    ``h_k[mask] = max over s subset of mask: h_{k-1}[mask - s] + p*(s)``
+    with ``p*`` the exact single-RV profit.  Practical to n ~= 12.
+
+    Args:
+        instance: the problem data.
+        n_rvs: fleet size ``m >= 1``.
+    """
+    if n_rvs < 1:
+        raise ValueError("n_rvs must be >= 1")
+    n = instance.n
+    if n == 0:
+        return FleetSolution(tuple(() for _ in range(n_rvs)), 0.0)
+    if n > 14:
+        raise ValueError(f"exact fleet solver limited to 14 nodes, got {n}")
+    dp, parent, profit_exact = _single_rv_tables(instance)
+    size = 1 << n
+
+    # h[k][mask]: best profit serving a subset of `mask` with k RVs.
+    h_prev = np.maximum(profit_exact, 0.0)  # one RV may serve nothing
+    # Make h_prev monotone over submasks: SOS max.
+    for bit in range(n):
+        step = 1 << bit
+        for mask in range(size):
+            if mask & step:
+                if h_prev[mask ^ step] > h_prev[mask]:
+                    h_prev[mask] = h_prev[mask ^ step]
+    choice: List[np.ndarray] = []  # choice[k][mask] = submask served by RV k
+    h_layers = [h_prev]
+    for _ in range(1, n_rvs):
+        h_new = h_prev.copy()
+        pick = np.zeros(size, dtype=np.int64)
+        for mask in range(size):
+            sub = mask
+            best = h_new[mask]
+            best_sub = 0
+            while sub:
+                if profit_exact[sub] > 0:
+                    cand = profit_exact[sub] + h_prev[mask ^ sub]
+                    if cand > best:
+                        best = cand
+                        best_sub = sub
+                sub = (sub - 1) & mask
+            h_new[mask] = best
+            pick[mask] = best_sub
+        choice.append(pick)
+        h_layers.append(h_new)
+        h_prev = h_new
+
+    # Recover: walk layers from the last RV back to the first.
+    full = size - 1
+    routes_rev: List[Tuple[int, ...]] = []
+    mask = full
+    for k in range(n_rvs - 1, 0, -1):
+        sub = int(choice[k - 1][mask])
+        routes_rev.append(_recover_order(instance, dp, parent, sub))
+        mask ^= sub
+    # First RV: best single subset of the remaining mask.
+    best_sub, best_profit = 0, 0.0
+    sub = mask
+    while sub:
+        if profit_exact[sub] > best_profit:
+            best_profit = profit_exact[sub]
+            best_sub = sub
+        sub = (sub - 1) & mask
+    routes_rev.append(_recover_order(instance, dp, parent, best_sub))
+    routes = tuple(reversed(routes_rev))
+    return FleetSolution(routes, float(h_layers[-1][full]))
+
+
+def verify_routes(
+    instance: RechargeInstance,
+    routes: Sequence[Sequence[int]],
+) -> float:
+    """Check a fleet solution against the MIP constraints; return Eq. (2).
+
+    Enforced:
+
+    * each node served by at most one RV — constraint (8);
+    * every route is a simple path (no vertex repeats) — constraints
+      (4), (13), (14): a simple path admits a valid MTZ labeling;
+    * every route within capacity — constraint (7).
+
+    The tour-structure constraint (3) (start/end at the base) holds by
+    construction when ``instance.closed`` is set, because costs then
+    include the return leg.  Constraint (9) (every RV serves at least
+    one node) is treated as vacuous for empty routes — an online
+    scheduler legitimately idles an RV.
+
+    Raises:
+        ValueError: when a constraint is violated.
+    """
+    seen: set = set()
+    total = 0.0
+    for r_idx, order in enumerate(routes):
+        order = list(order)
+        if len(set(order)) != len(order):
+            raise ValueError(f"route {r_idx} visits a node twice: {order}")
+        for node in order:
+            if not 0 <= node < instance.n:
+                raise ValueError(f"route {r_idx} references unknown node {node}")
+            if node in seen:
+                raise ValueError(f"node {node} served by more than one RV")
+            seen.add(node)
+        if not instance.route_feasible(order):
+            raise ValueError(f"route {r_idx} violates the RV capacity (7)")
+        total += instance.route_profit(order)
+    return total

@@ -1,0 +1,94 @@
+"""The Partition-Scheme for multiple RVs (Section IV-D.1).
+
+The recharge node list is partitioned into ``m`` geographically tight
+groups with K-means (minimizing the within-cluster sum of squares,
+Eq. (15)); each RV is made responsible for one group and runs the
+single-RV insertion algorithm inside it.  Confining every RV's moving
+scope is what gives the scheme its traveling-distance savings (41% vs
+greedy in the paper's evaluation).
+
+Group-to-RV matching: the paper starts RV ``i`` at centroid ``mu_i``;
+online, RVs already have positions, so each idle RV greedily claims the
+nearest unclaimed group centroid — the assignment K-means itself would
+induce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..cluster.kmeans import kmeans
+from ..geometry.points import distance
+from .insertion import plan_single_rv_chained
+from .requests import RechargeNodeList
+from .scheduling import PlannedRoute, RVView
+
+__all__ = ["PartitionScheduler", "partition_requests"]
+
+
+def partition_requests(
+    positions: np.ndarray,
+    n_groups: int,
+    rng: np.random.Generator,
+) -> List[np.ndarray]:
+    """K-means partition of request positions into up to ``n_groups``.
+
+    Returns index groups (lists of request indices).  Fewer groups come
+    back when there are fewer requests than ``n_groups``.
+    """
+    n = len(positions)
+    if n == 0:
+        return []
+    k = min(n_groups, n)
+    if k <= 1:
+        return [np.arange(n, dtype=np.intp)]
+    result = kmeans(positions, k, rng=rng)
+    return [g for g in result.groups() if len(g) > 0]
+
+
+class PartitionScheduler:
+    """Online Partition-Scheme.
+
+    Every scheduling round re-partitions the *current* list into
+    ``fleet_size`` groups; idle RVs claim nearest group centroids and
+    plan insertion sorties confined to their group.  Groups left over
+    (more groups than idle RVs) wait for the next round.
+    """
+
+    name = "partition"
+
+    def __init__(self, fleet_size: int) -> None:
+        if fleet_size < 1:
+            raise ValueError("fleet_size must be >= 1")
+        self.fleet_size = fleet_size
+
+    def assign(
+        self,
+        requests: RechargeNodeList,
+        idle_rvs: List[RVView],
+        rng: np.random.Generator,
+    ) -> Dict[int, PlannedRoute]:
+        plans: Dict[int, PlannedRoute] = {}
+        if not idle_rvs or len(requests) == 0:
+            return plans
+        snapshot = requests.snapshot()
+        positions = np.vstack([r.position for r in snapshot])
+        groups = partition_requests(positions, self.fleet_size, rng)
+        if not groups:
+            return plans
+        centroids = np.vstack([positions[g].mean(axis=0) for g in groups])
+        unclaimed = list(range(len(groups)))
+        for rv in idle_rvs:
+            if not unclaimed:
+                break
+            dists = [distance(rv.position, centroids[g]) for g in unclaimed]
+            pick = unclaimed.pop(int(np.argmin(dists)))
+            group_requests = [snapshot[i] for i in groups[pick]]
+            plan = plan_single_rv_chained(group_requests, rv)
+            if plan is None or len(plan) == 0:
+                continue
+            plans[rv.rv_id] = plan
+            requests.remove_many(plan.node_ids)
+        return plans

@@ -1,0 +1,125 @@
+"""Recharge profit — the paper's objective (Eq. (2)).
+
+For a set of RV routes, the objective is the total energy demand served
+minus the total traveling energy spent:
+
+.. math::
+
+   \\max \\sum_a \\sum_i y_i^a d_i \\;-\\; \\sum_a \\sum_{ij} c_{ij} x_{ij}^a,
+
+with traveling cost :math:`c_{ij} = e_m \\cdot \\|p_i - p_j\\|`.  The
+same quantity drives every heuristic decision: the greedy destination
+pick is :math:`\\arg\\max_i (d_i - e_m \\cdot dist_i)` and Algorithm 3's
+insertion test is the *profit difference*
+:math:`p(s, n) = d_n - e_m \\Delta d(s)`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..geometry.points import as_points, distances_from, path_length
+
+__all__ = [
+    "node_profits",
+    "route_travel_cost",
+    "route_profit",
+    "total_objective",
+    "insertion_profit_delta",
+]
+
+
+def node_profits(
+    demands: np.ndarray,
+    positions: np.ndarray,
+    rv_position: np.ndarray,
+    em_j_per_m: float,
+) -> np.ndarray:
+    """Per-node one-shot recharge profit ``d_i - em * dist(rv, i)``.
+
+    The greedy destination rule (Algorithm 2 line 8 / Algorithm 3 line
+    2) maximizes this vector.
+    """
+    demands = np.asarray(demands, dtype=np.float64)
+    positions = as_points(positions)
+    if demands.shape != (len(positions),):
+        raise ValueError("demands must align with positions")
+    if em_j_per_m < 0:
+        raise ValueError("em_j_per_m must be non-negative")
+    return demands - em_j_per_m * distances_from(rv_position, positions)
+
+
+def route_travel_cost(
+    waypoints: np.ndarray,
+    em_j_per_m: float,
+) -> float:
+    """Traveling energy of a polyline route, ``em * length``."""
+    if em_j_per_m < 0:
+        raise ValueError("em_j_per_m must be non-negative")
+    return em_j_per_m * path_length(waypoints)
+
+
+def route_profit(
+    demands: np.ndarray,
+    positions: np.ndarray,
+    order: Sequence[int],
+    start: np.ndarray,
+    em_j_per_m: float,
+) -> float:
+    """Profit of serving ``positions[order]`` starting from ``start``.
+
+    Demand of every visited node counts positively; the traveling cost
+    of the ``start -> order[0] -> ... -> order[-1]`` path counts
+    negatively (open route — heuristics do not charge the return leg;
+    see DESIGN.md).
+    """
+    demands = np.asarray(demands, dtype=np.float64)
+    positions = as_points(positions)
+    order = np.asarray(order, dtype=np.intp)
+    if order.size == 0:
+        return 0.0
+    start = np.asarray(start, dtype=np.float64).reshape(1, 2)
+    waypoints = np.vstack([start, positions[order]])
+    return float(demands[order].sum()) - route_travel_cost(waypoints, em_j_per_m)
+
+
+def total_objective(route_profits: Sequence[float]) -> float:
+    """Eq. (2) for a fleet: the sum of per-route profits."""
+    return float(sum(route_profits))
+
+
+def insertion_profit_delta(
+    route_points: np.ndarray,
+    position_index: int,
+    candidate_point: np.ndarray,
+    candidate_demand: float,
+    em_j_per_m: float,
+) -> float:
+    """Algorithm 3's ``p(s, n) = D(n) - em * delta_d(s)``.
+
+    Args:
+        route_points: ``(k, 2)`` current route waypoints, RV position
+            first, destination last.
+        position_index: insert the candidate between
+            ``route_points[position_index]`` and
+            ``route_points[position_index + 1]``.
+        candidate_point: ``(2,)`` candidate location.
+        candidate_demand: the candidate's energy demand ``D(n)``.
+
+    Returns:
+        The change in route profit if the insertion is performed.
+        Positive means the detour pays for itself.
+    """
+    route_points = as_points(route_points)
+    k = len(route_points)
+    if not 0 <= position_index < k - 1:
+        raise ValueError(f"position_index {position_index} out of range for {k} waypoints")
+    a = route_points[position_index]
+    b = route_points[position_index + 1]
+    c = np.asarray(candidate_point, dtype=np.float64).reshape(2)
+    detour = (
+        float(np.hypot(*(a - c))) + float(np.hypot(*(c - b))) - float(np.hypot(*(a - b)))
+    )
+    return float(candidate_demand) - em_j_per_m * detour

@@ -1,0 +1,201 @@
+"""Recharge requests and the base station's recharge node list.
+
+Section II-A: sensors whose battery falls below the threshold send a
+recharge request to the base station, which maintains a *recharge node
+list* ``R`` and computes recharge schedules against it.  With Energy
+Request Control (Section III-B) requests are released per cluster, so a
+single RV visit can serve the whole cluster; to support that, the list
+can *aggregate* co-clustered requests into one super-node whose demand
+is the cluster's total (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from ..tsp.nearest_neighbor import nearest_neighbor_order
+
+__all__ = ["RechargeRequest", "RechargeNodeList", "AggregatedRequest", "aggregate_by_cluster"]
+
+#: Cluster id used for sensors that are not part of any target cluster.
+UNCLUSTERED = -1
+
+
+@dataclass(frozen=True)
+class RechargeRequest:
+    """One pending request.
+
+    Attributes:
+        node_id: the sensor's index in the network.
+        position: ``(2,)`` sensor coordinates.
+        demand_j: energy demand ``d_i = Ec - level`` at release time.
+        cluster_id: the cluster the sensor belonged to when the request
+            was released, or ``-1`` if unclustered.
+        release_time_s: simulation time at which the request entered the
+            list (used for latency metrics).
+    """
+
+    node_id: int
+    position: np.ndarray
+    demand_j: float
+    cluster_id: int = UNCLUSTERED
+    release_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "position", np.asarray(self.position, dtype=np.float64).reshape(2)
+        )
+        if self.demand_j < 0:
+            raise ValueError("demand_j must be non-negative")
+
+
+class RechargeNodeList:
+    """The base station's ordered, de-duplicated request list ``R``.
+
+    Requests keep insertion order (the order they were released), which
+    makes simulations reproducible.  Adding a node that is already
+    listed refreshes its demand in place instead of duplicating it.
+    """
+
+    def __init__(self, requests: Iterable[RechargeRequest] = ()) -> None:
+        self._by_node: Dict[int, RechargeRequest] = {}
+        for r in requests:
+            self.add(r)
+
+    def __len__(self) -> int:
+        return len(self._by_node)
+
+    def __iter__(self) -> Iterator[RechargeRequest]:
+        return iter(self._by_node.values())
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._by_node
+
+    def add(self, request: RechargeRequest) -> None:
+        """Insert or refresh a request."""
+        self._by_node[request.node_id] = request
+
+    def remove(self, node_id: int) -> Optional[RechargeRequest]:
+        """Drop the request for ``node_id`` if present; returns it."""
+        return self._by_node.pop(node_id, None)
+
+    def remove_many(self, node_ids: Iterable[int]) -> None:
+        for nid in node_ids:
+            self._by_node.pop(nid, None)
+
+    def get(self, node_id: int) -> Optional[RechargeRequest]:
+        return self._by_node.get(node_id)
+
+    def clear(self) -> None:
+        self._by_node.clear()
+
+    @property
+    def node_ids(self) -> np.ndarray:
+        """Listed node ids in insertion order."""
+        return np.fromiter(self._by_node.keys(), dtype=np.intp, count=len(self._by_node))
+
+    def positions(self) -> np.ndarray:
+        """``(n, 2)`` positions in insertion order."""
+        if not self._by_node:
+            return np.empty((0, 2), dtype=np.float64)
+        return np.vstack([r.position for r in self._by_node.values()])
+
+    def demands(self) -> np.ndarray:
+        """``(n,)`` demands in insertion order."""
+        return np.fromiter(
+            (r.demand_j for r in self._by_node.values()),
+            dtype=np.float64,
+            count=len(self._by_node),
+        )
+
+    def cluster_ids(self) -> np.ndarray:
+        """``(n,)`` cluster ids in insertion order."""
+        return np.fromiter(
+            (r.cluster_id for r in self._by_node.values()),
+            dtype=np.int64,
+            count=len(self._by_node),
+        )
+
+    def snapshot(self) -> List[RechargeRequest]:
+        """A stable list copy of the current requests."""
+        return list(self._by_node.values())
+
+
+@dataclass(frozen=True)
+class AggregatedRequest:
+    """A scheduling super-node: one cluster's pending requests as a unit.
+
+    Section IV-C: "all energy demands from sensors inside a cluster are
+    replaced by an aggregated cluster energy demand", and the RV serves
+    every listed member in one visit, touring them nearest-neighbour.
+
+    Attributes:
+        position: representative position (member centroid; cluster
+            diameter is at most twice the sensing range, so the
+            approximation error is meters against a field of hundreds).
+        demand_j: total demand of the members.
+        members: the underlying requests, in released order.
+        cluster_id: originating cluster, or ``-1`` for a singleton.
+    """
+
+    position: np.ndarray
+    demand_j: float
+    members: tuple
+    cluster_id: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "position", np.asarray(self.position, dtype=np.float64).reshape(2)
+        )
+
+    def member_ids(self) -> List[int]:
+        return [r.node_id for r in self.members]
+
+    def visit_order_from(self, entry: np.ndarray) -> List[int]:
+        """Member node ids in nearest-neighbour order from ``entry``.
+
+        This is the paper's O(nc^2) intra-cluster tour.
+        """
+        pts = np.vstack([r.position for r in self.members])
+        order = nearest_neighbor_order(pts, start=entry)
+        ids = self.member_ids()
+        return [ids[i] for i in order]
+
+
+def aggregate_by_cluster(requests: Iterable[RechargeRequest]) -> List[AggregatedRequest]:
+    """Fold a request list into per-cluster super-nodes.
+
+    Unclustered requests become singletons.  Order follows first
+    appearance in the input, keeping scheduling deterministic.
+    """
+    groups: Dict[int, List[RechargeRequest]] = {}
+    order: List[int] = []
+    singleton_key = UNCLUSTERED  # each unclustered node gets its own key
+    next_singleton = -2
+    for r in requests:
+        if r.cluster_id == UNCLUSTERED:
+            key = next_singleton
+            next_singleton -= 1
+        else:
+            key = r.cluster_id
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(r)
+    del singleton_key
+    result = []
+    for key in order:
+        members = tuple(groups[key])
+        pts = np.vstack([m.position for m in members])
+        result.append(
+            AggregatedRequest(
+                position=pts.mean(axis=0),
+                demand_j=float(sum(m.demand_j for m in members)),
+                members=members,
+                cluster_id=members[0].cluster_id,
+            )
+        )
+    return result

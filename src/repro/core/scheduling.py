@@ -1,0 +1,110 @@
+"""Shared scheduler types and the scheduler interface.
+
+All four recharge schedulers (greedy, single-RV insertion, the
+Partition-Scheme and the Combined-Scheme) plan against the same inputs:
+
+* the base station's :class:`~repro.core.requests.RechargeNodeList`,
+* the fleet's current positions and remaining sortie budgets.
+
+A plan is a :class:`PlannedRoute`: the sensor ids to visit in order plus
+the planner's own travel/demand accounting (used for capacity checks
+and for static benchmarking without a simulator).  The online glue —
+executing routes leg by leg, recharging the RV at the depot — lives in
+:mod:`repro.sim.world`; schedulers stay pure functions of their inputs,
+which keeps them unit-testable and benchable in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Protocol
+
+import numpy as np
+
+from .requests import RechargeNodeList
+
+__all__ = ["PlannedRoute", "RVView", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class PlannedRoute:
+    """One RV's planned sortie.
+
+    Attributes:
+        node_ids: sensor ids in visit order (clusters already expanded
+            into their nearest-neighbour member tour).
+        waypoints: ``(k, 2)`` positions the plan visits, RV start first.
+        travel_m: planned path length in meters (from the RV's position
+            through every waypoint).
+        demand_j: total energy the plan will deliver.
+        profit_j: planner's Eq. (2) profit estimate
+            (``demand - em * travel``).
+    """
+
+    node_ids: tuple
+    waypoints: np.ndarray
+    travel_m: float
+    demand_j: float
+    profit_j: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "node_ids", tuple(int(i) for i in self.node_ids))
+        object.__setattr__(
+            self, "waypoints", np.asarray(self.waypoints, dtype=np.float64).reshape(-1, 2)
+        )
+
+    def __len__(self) -> int:
+        return len(self.node_ids)
+
+
+@dataclass
+class RVView:
+    """The slice of RV state a scheduler is allowed to see.
+
+    Attributes:
+        rv_id: fleet index.
+        position: current ``(2,)`` coordinates.
+        budget_j: remaining sortie energy (travel + delivery).
+        em_j_per_m: traveling energy rate.
+        charge_efficiency: wireless transfer efficiency — delivering
+            ``d`` Joules costs the budget ``d / efficiency``.
+    """
+
+    rv_id: int
+    position: np.ndarray
+    budget_j: float
+    em_j_per_m: float = 5.6
+    charge_efficiency: float = 1.0
+    depot: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=np.float64).reshape(2)
+        if self.depot is not None:
+            self.depot = np.asarray(self.depot, dtype=np.float64).reshape(2)
+
+    def delivery_cost(self, demand_j: float) -> float:
+        """Budget debit for delivering ``demand_j``."""
+        return demand_j / self.charge_efficiency
+
+
+class Scheduler(Protocol):
+    """Online scheduling interface consumed by the simulation world.
+
+    Implementations must *remove* the requests they assign from the
+    list, so concurrently idle RVs never race for the same node.
+    """
+
+    name: str
+
+    def assign(
+        self,
+        requests: RechargeNodeList,
+        idle_rvs: List[RVView],
+        rng: np.random.Generator,
+    ) -> Dict[int, PlannedRoute]:
+        """Plan sorties for (a subset of) the idle RVs.
+
+        Returns a mapping ``rv_id -> PlannedRoute``; RVs absent from the
+        mapping stay idle this round.
+        """
+        ...

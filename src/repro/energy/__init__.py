@@ -1,0 +1,25 @@
+"""Energy substrate: consumption models, batteries, wireless charging."""
+
+from .battery import DEFAULT_SENSOR_CAPACITY_J, Battery, BatteryBank
+from .consumption import (
+    CC2480_RADIO,
+    PAPER_NODE_POWER,
+    PIR_DETECTOR,
+    NodePowerModel,
+    RadioModel,
+    SensingModel,
+)
+from .recharge import ChargeModel
+
+__all__ = [
+    "Battery",
+    "BatteryBank",
+    "CC2480_RADIO",
+    "ChargeModel",
+    "DEFAULT_SENSOR_CAPACITY_J",
+    "NodePowerModel",
+    "PAPER_NODE_POWER",
+    "PIR_DETECTOR",
+    "RadioModel",
+    "SensingModel",
+]

@@ -1,0 +1,183 @@
+"""Power-consumption models for sensor nodes.
+
+The paper instantiates its sensors with concrete hardware (Section V):
+
+* a TI CC2480 802.15.4 radio — 27 mA while transmitting or receiving a
+  packet, under 5 uA in idle/low-power mode, 3 V supply;
+* a PIR motion detector — 10 mA average while actively monitoring,
+  170 uA while idle;
+* data generation at a constant ``lambda = 15`` packets/minute of
+  20-byte packets, forwarded to the base station over multiple hops.
+
+Everything here converts those datasheet currents into Watts and
+per-packet Joules so the simulator can work in SI units.  The classes
+are frozen dataclasses: a consumption model is configuration, not
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "RadioModel",
+    "SensingModel",
+    "NodePowerModel",
+    "CC2480_RADIO",
+    "PIR_DETECTOR",
+    "PAPER_NODE_POWER",
+]
+
+
+@dataclass(frozen=True)
+class RadioModel:
+    """An on/off radio with per-packet transmit and receive costs.
+
+    Attributes:
+        tx_current_a: current draw while transmitting (A).
+        rx_current_a: current draw while receiving (A).
+        idle_current_a: current draw in low-power idle (A).
+        voltage_v: supply voltage (V).
+        bitrate_bps: over-the-air bitrate (bit/s).
+        overhead_bytes: PHY/MAC framing added to every payload.
+        listen_duty_cycle: fraction of idle time spent with the receiver
+            on (low-power-listening MACs wake periodically to sample the
+            channel).  0 models the datasheet's pure low-power mode; a
+            duty-cycled radio's idle draw blends RX and sleep currents.
+    """
+
+    tx_current_a: float = 27e-3
+    rx_current_a: float = 27e-3
+    idle_current_a: float = 5e-6
+    voltage_v: float = 3.0
+    bitrate_bps: float = 250_000.0
+    overhead_bytes: int = 18
+    listen_duty_cycle: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("tx_current_a", "rx_current_a", "idle_current_a", "voltage_v", "bitrate_bps"):
+            if getattr(self, name) <= 0 and name != "idle_current_a":
+                raise ValueError(f"{name} must be positive")
+        if self.idle_current_a < 0:
+            raise ValueError("idle_current_a must be non-negative")
+        if self.overhead_bytes < 0:
+            raise ValueError("overhead_bytes must be non-negative")
+        if not 0.0 <= self.listen_duty_cycle <= 1.0:
+            raise ValueError("listen_duty_cycle must lie in [0, 1]")
+
+    def airtime_s(self, payload_bytes: int) -> float:
+        """Time on air for one packet of ``payload_bytes`` payload."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        return 8.0 * (payload_bytes + self.overhead_bytes) / self.bitrate_bps
+
+    def tx_energy_j(self, payload_bytes: int) -> float:
+        """Energy to transmit one packet (the paper's ``e_t``)."""
+        return self.tx_current_a * self.voltage_v * self.airtime_s(payload_bytes)
+
+    def rx_energy_j(self, payload_bytes: int) -> float:
+        """Energy to receive one packet (the paper's ``e_r``)."""
+        return self.rx_current_a * self.voltage_v * self.airtime_s(payload_bytes)
+
+    @property
+    def idle_power_w(self) -> float:
+        """Idle draw in Watts: sleep current blended with the
+        low-power-listening duty cycle's RX time."""
+        sleep = self.idle_current_a * self.voltage_v
+        listen = self.rx_current_a * self.voltage_v
+        return (1.0 - self.listen_duty_cycle) * sleep + self.listen_duty_cycle * listen
+
+
+@dataclass(frozen=True)
+class SensingModel:
+    """A detector with an active and an idle draw.
+
+    Attributes:
+        active_current_a: current while actively monitoring a target (A).
+        idle_current_a: current while the detector sleeps (A).
+        voltage_v: supply voltage (V).
+    """
+
+    active_current_a: float = 10e-3
+    idle_current_a: float = 170e-6
+    voltage_v: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.active_current_a <= 0:
+            raise ValueError("active_current_a must be positive")
+        if self.idle_current_a < 0:
+            raise ValueError("idle_current_a must be non-negative")
+        if self.voltage_v <= 0:
+            raise ValueError("voltage_v must be positive")
+
+    @property
+    def active_power_w(self) -> float:
+        """Draw while monitoring, in Watts (the paper's ``e_s``)."""
+        return self.active_current_a * self.voltage_v
+
+    @property
+    def idle_power_w(self) -> float:
+        """Draw while idle, in Watts."""
+        return self.idle_current_a * self.voltage_v
+
+
+@dataclass(frozen=True)
+class NodePowerModel:
+    """Complete per-node power model: detector + radio + traffic.
+
+    Combines the steady detector/radio draws with the packet-rate
+    dependent communication cost.  The simulator asks for *rates* in
+    Watts so it can advance batteries analytically between events.
+
+    Attributes:
+        radio: the radio model.
+        sensing: the detector model.
+        packet_rate_hz: data generation rate of an *active* sensor
+            (``lambda``; the paper's 15 pkt/min = 0.25 Hz).
+        payload_bytes: sensing-report payload size (paper: 20 bytes).
+    """
+
+    radio: RadioModel = RadioModel()
+    sensing: SensingModel = SensingModel()
+    packet_rate_hz: float = 15.0 / 60.0
+    payload_bytes: int = 20
+
+    def __post_init__(self) -> None:
+        if self.packet_rate_hz < 0:
+            raise ValueError("packet_rate_hz must be non-negative")
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+
+    @property
+    def idle_power_w(self) -> float:
+        """Baseline draw of a sleeping node (detector idle + radio idle)."""
+        return self.sensing.idle_power_w + self.radio.idle_power_w
+
+    @property
+    def active_sensing_power_w(self) -> float:
+        """Extra draw of a node actively monitoring a target, including
+        the energy to originate its own report packets."""
+        own_tx = self.packet_rate_hz * self.radio.tx_energy_j(self.payload_bytes)
+        return (self.sensing.active_power_w - self.sensing.idle_power_w) + own_tx
+
+    def relay_power_w(self, packets_per_second: float) -> float:
+        """Extra draw of forwarding ``packets_per_second`` for others.
+
+        Each relayed packet costs one receive plus one transmit.
+        """
+        if packets_per_second < 0:
+            raise ValueError("packets_per_second must be non-negative")
+        per_packet = self.radio.rx_energy_j(self.payload_bytes) + self.radio.tx_energy_j(self.payload_bytes)
+        return packets_per_second * per_packet
+
+    def notification_energy_j(self) -> float:
+        """Cost of one round-robin hand-off: a notification packet sent
+        by the retiring sensor and received by its successor (Section
+        III-C).  Charged as TX on the sender and RX on the receiver."""
+        return self.radio.tx_energy_j(self.payload_bytes)
+
+
+#: The exact hardware the paper simulates (Section V).
+CC2480_RADIO = RadioModel()
+PIR_DETECTOR = SensingModel()
+PAPER_NODE_POWER = NodePowerModel(radio=CC2480_RADIO, sensing=PIR_DETECTOR)

@@ -1,0 +1,49 @@
+"""Wireless recharge-time model.
+
+The paper models recharge time "according to [15]" — the Panasonic
+Ni-MH technical handbook — i.e. refilling a cell takes time proportional
+to the charge deficit at the charger's current.  For wireless transfer
+we add a transfer efficiency: the RV spends ``delivered / efficiency``
+of its own budget to put ``delivered`` Joules into a node.
+
+The default rate corresponds to a standard 0.5C charge of the AAA pack:
+a fully depleted 8.1 kJ pack refills in about two hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ChargeModel"]
+
+
+@dataclass(frozen=True)
+class ChargeModel:
+    """Constant-power wireless charging.
+
+    Attributes:
+        power_w: rate at which energy enters the sensor battery (W).
+        efficiency: fraction of the RV-side energy that reaches the
+            battery; the RV budget is debited ``delivered / efficiency``.
+    """
+
+    power_w: float = 1.125
+    efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.power_w <= 0:
+            raise ValueError("power_w must be positive")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError("efficiency must lie in (0, 1]")
+
+    def charge_time_s(self, demand_j: float) -> float:
+        """Seconds to deliver ``demand_j`` into a battery."""
+        if demand_j < 0:
+            raise ValueError("demand_j must be non-negative")
+        return demand_j / self.power_w
+
+    def rv_energy_cost_j(self, delivered_j: float) -> float:
+        """Energy debited from the RV to deliver ``delivered_j``."""
+        if delivered_j < 0:
+            raise ValueError("delivered_j must be non-negative")
+        return delivered_j / self.efficiency

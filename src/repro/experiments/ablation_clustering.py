@@ -1,0 +1,81 @@
+"""Ablation A2 — balanced clustering (Algorithm 1) vs the nearest-target
+baseline.
+
+Two effects are measured:
+
+* **static balance**: the cluster-size spread (max - min) over random
+  deployments — the direct objective of Algorithm 1;
+* **system effect**: RV traveling energy and coverage when the
+  simulation runs with each clustering policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.clustering import balanced_clustering, nearest_target_clustering
+from ..geometry.field import Field
+from ..utils.tables import format_table
+from .common import ExperimentScale, run_cell
+
+__all__ = ["static_balance", "run_ablation", "format_ablation"]
+
+
+def static_balance(
+    n_sensors: int = 500,
+    n_targets: int = 15,
+    side: float = 200.0,
+    sensing_range: float = 14.0,
+    seeds: int = 20,
+) -> Dict[str, float]:
+    """Mean cluster-size spread over random instances, both policies."""
+    spreads = {"balanced": [], "nearest_target": []}
+    for seed in range(seeds):
+        rng = np.random.default_rng(seed)
+        f = Field(side)
+        sensors = f.deploy_uniform(n_sensors, rng)
+        targets = f.random_points(n_targets, rng)
+        spreads["balanced"].append(
+            balanced_clustering(sensors, targets, sensing_range).spread()
+        )
+        spreads["nearest_target"].append(
+            nearest_target_clustering(sensors, targets, sensing_range).spread()
+        )
+    return {k: float(np.mean(v)) for k, v in spreads.items()}
+
+
+def run_ablation(scale: ExperimentScale) -> Dict[str, Dict[str, float]]:
+    """Simulated effect of the clustering policy (combined scheduler,
+    ERP 0.6)."""
+    out = {}
+    for policy in ("balanced", "nearest_target"):
+        cell = run_cell(scale, clustering=policy, erp=0.6, scheduler="combined")
+        out[policy] = {
+            "traveling_energy_mj": cell["traveling_energy_j"] / 1e6,
+            "coverage_pct": 100.0 * cell["avg_coverage_ratio"],
+            "n_recharges": cell["n_recharges"],
+            "mean_latency_h": cell["mean_request_latency_s"] / 3600.0,
+        }
+    return out
+
+
+def format_ablation(static: Dict[str, float], dynamic: Dict[str, Dict[str, float]]) -> str:
+    rows: List[list] = []
+    for policy in ("balanced", "nearest_target"):
+        d = dynamic[policy]
+        rows.append(
+            [
+                policy,
+                static[policy],
+                d["traveling_energy_mj"],
+                d["coverage_pct"],
+                d["mean_latency_h"],
+            ]
+        )
+    return format_table(
+        ["clustering", "size spread", "travel (MJ)", "coverage (%)", "latency (h)"],
+        rows,
+        title="Ablation A2 - balanced clustering vs nearest-target",
+    )

@@ -1,0 +1,105 @@
+"""Opt-in on-disk cache for experiment cells.
+
+Figure sweeps re-run many identical simulations (e.g. regenerating
+Fig. 6a after 6b at the same scale).  With ``REPRO_CACHE=<dir>`` set,
+every completed run is stored as JSON keyed by the SHA-256 of its full
+serialized configuration — bit-exact keying, so a cache hit is always
+the same simulation.  Unset (the default), everything runs fresh.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import List, Optional, Sequence
+
+from ..sim.config import SimulationConfig
+from ..sim.metrics import SimulationSummary
+from ..sim.runner import run_simulation
+from ..sim.serialization import config_to_dict
+
+__all__ = ["cache_dir", "config_key", "cached_run", "cached_run_seeds", "summary_from_dict"]
+
+
+def cache_dir() -> Optional[pathlib.Path]:
+    """The cache directory from ``REPRO_CACHE``, or None (disabled)."""
+    value = os.environ.get("REPRO_CACHE", "").strip()
+    if not value:
+        return None
+    path = pathlib.Path(value)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def config_key(config: SimulationConfig) -> str:
+    """A stable content hash of the *complete* configuration."""
+    payload = json.dumps(config_to_dict(config), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def summary_from_dict(data: dict) -> SimulationSummary:
+    """Rebuild a summary from its :meth:`SimulationSummary.as_dict`.
+
+    Count-valued fields are restored to ints.
+    """
+    kwargs = dict(data)
+    for int_field in ("n_recharges", "n_sorties", "n_requests", "events_fired"):
+        kwargs[int_field] = int(kwargs[int_field])
+    return SimulationSummary(**kwargs)
+
+
+def cached_run(config: SimulationConfig) -> SimulationSummary:
+    """Run one simulation, consulting/filling the cache when enabled."""
+    directory = cache_dir()
+    if directory is None:
+        return run_simulation(config)
+    path = directory / f"{config_key(config)}.json"
+    if path.exists():
+        return summary_from_dict(json.loads(path.read_text()))
+    summary = run_simulation(config)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(summary.as_dict()))
+    tmp.replace(path)  # atomic on POSIX: parallel writers can't corrupt
+    return summary
+
+
+def cached_run_seeds(
+    config: SimulationConfig, seeds: Sequence[int]
+) -> List[SimulationSummary]:
+    """Seed fan-out through the cache.
+
+    Misses are executed through :func:`repro.sim.runner.run_seeds`
+    (which honors ``REPRO_PROCS`` parallelism) and then stored.
+    """
+    directory = cache_dir()
+    if directory is None:
+        from ..sim.runner import run_seeds
+
+        return run_seeds(config, seeds)
+    out: List[Optional[SimulationSummary]] = []
+    misses: List[int] = []
+    for s in seeds:
+        cfg = config.with_overrides(seed=s)
+        path = directory / f"{config_key(cfg)}.json"
+        if path.exists():
+            out.append(summary_from_dict(json.loads(path.read_text())))
+        else:
+            out.append(None)
+            misses.append(s)
+    if misses:
+        from ..sim.runner import run_seeds
+
+        fresh = run_seeds(config, misses)
+        it = iter(fresh)
+        for i, s in enumerate(seeds):
+            if out[i] is None:
+                summary = next(it)
+                cfg = config.with_overrides(seed=s)
+                path = directory / f"{config_key(cfg)}.json"
+                tmp = path.with_suffix(".tmp")
+                tmp.write_text(json.dumps(summary.as_dict()))
+                tmp.replace(path)
+                out[i] = summary
+    return [s for s in out if s is not None]

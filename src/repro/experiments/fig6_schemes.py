@@ -1,0 +1,80 @@
+"""Figure 6 — performance comparison of the three recharging schemes
+over the ERP sweep.
+
+Four panels, all from one sweep:
+
+* (a) traveling energy of RVs (MJ) — Partition-Scheme lowest;
+* (b) average coverage ratio of targets (%);
+* (c) average percentage of nonfunctional sensors — Combined-Scheme
+  lowest;
+* (d) recharging cost (m/sensor) = total RV distance / time-averaged
+  operational sensors — declines with ERP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..utils.tables import format_series
+from .common import ERP_GRID, SCHEMES, ExperimentScale, run_erp_sweep
+
+__all__ = [
+    "run_fig6",
+    "panel_a",
+    "panel_b",
+    "panel_c",
+    "panel_d",
+    "format_panel",
+]
+
+#: Panel -> (summary metric, transform, y-label)
+_PANELS = {
+    "a": ("traveling_energy_j", lambda v: v / 1e6, "Traveling energy (MJ)"),
+    "b": ("avg_coverage_ratio", lambda v: 100.0 * v, "Coverage ratio (%)"),
+    "c": ("avg_nonfunctional_fraction", lambda v: 100.0 * v, "Nonfunctional sensors (%)"),
+    "d": ("recharging_cost_m_per_sensor", lambda v: v, "Recharging cost (m/sensor)"),
+}
+
+
+def run_fig6(
+    scale: ExperimentScale, erps: Sequence[float] = ERP_GRID
+) -> Dict[str, Dict[str, List[float]]]:
+    """The full sweep; feed the result to the ``panel_*`` extractors.
+
+    The same sweep also powers Fig. 7 — run it once and share.
+    """
+    return run_erp_sweep(scale, schedulers=SCHEMES, erps=erps)
+
+
+def _extract(sweep, panel: str) -> Dict[str, List[float]]:
+    metric, transform, _ = _PANELS[panel]
+    return {s: [transform(v) for v in sweep[s][metric]] for s in SCHEMES}
+
+
+def panel_a(sweep) -> Dict[str, List[float]]:
+    """Fig. 6(a): traveling energy (MJ) per scheme."""
+    return _extract(sweep, "a")
+
+
+def panel_b(sweep) -> Dict[str, List[float]]:
+    """Fig. 6(b): average coverage ratio (%) per scheme."""
+    return _extract(sweep, "b")
+
+
+def panel_c(sweep) -> Dict[str, List[float]]:
+    """Fig. 6(c): average nonfunctional sensors (%) per scheme."""
+    return _extract(sweep, "c")
+
+
+def panel_d(sweep) -> Dict[str, List[float]]:
+    """Fig. 6(d): recharging cost (m/sensor) per scheme."""
+    return _extract(sweep, "d")
+
+
+def format_panel(
+    panel: str, series: Dict[str, List[float]], erps: Sequence[float] = ERP_GRID
+) -> str:
+    _, _, label = _PANELS[panel]
+    return format_series(
+        "ERP", list(erps), series, title=f"Fig. 6({panel}) - {label} vs ERP"
+    )

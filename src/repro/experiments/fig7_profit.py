@@ -1,0 +1,36 @@
+"""Figure 7 — recharge profit of the three schemes over the ERP sweep.
+
+* (a) total energy recharged into the network (MJ) — the Combined-
+  Scheme highest (global view picks high-demand nodes anywhere);
+* (b) the objective score of Eq. (2) (MJ) = energy recharged minus RV
+  traveling energy.
+
+Reuses the Fig. 6 sweep result — both figures come from the same runs
+in the paper too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..utils.tables import format_series
+from .common import ERP_GRID, SCHEMES
+
+__all__ = ["panel_a", "panel_b", "format_fig7_panel"]
+
+
+def panel_a(sweep) -> Dict[str, List[float]]:
+    """Fig. 7(a): energy recharged into the network (MJ)."""
+    return {s: [v / 1e6 for v in sweep[s]["delivered_energy_j"]] for s in SCHEMES}
+
+
+def panel_b(sweep) -> Dict[str, List[float]]:
+    """Fig. 7(b): Eq. (2) objective score (MJ)."""
+    return {s: [v / 1e6 for v in sweep[s]["objective_j"]] for s in SCHEMES}
+
+
+def format_fig7_panel(
+    panel: str, series: Dict[str, List[float]], erps: Sequence[float] = ERP_GRID
+) -> str:
+    label = "Energy recharged (MJ)" if panel == "a" else "Objective score (MJ)"
+    return format_series("ERP", list(erps), series, title=f"Fig. 7({panel}) - {label} vs ERP")

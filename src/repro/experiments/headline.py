@@ -1,0 +1,73 @@
+"""The paper's Section I headline claims, computed from the experiment
+results:
+
+* sensor activity management saves RV traveling energy (paper: 16%);
+* vs the greedy baseline, the Partition-Scheme saves traveling distance
+  (paper: 41%) and the Combined-Scheme too (paper: 13%);
+* nonfunctional nodes drop vs greedy (paper: 23% for Partition, 52%
+  for Combined).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..utils.tables import format_table
+from .common import ERP_GRID, ExperimentScale
+from .fig4_activity import activity_saving_percent, run_fig4
+from .fig6_schemes import run_fig6
+
+__all__ = ["compute_headline", "format_headline"]
+
+
+def _mean_over_erp(sweep, scheduler: str, metric: str) -> float:
+    return float(np.mean(sweep[scheduler][metric]))
+
+
+def compute_headline(scale: ExperimentScale, erps: Sequence[float] = ERP_GRID) -> Dict[str, float]:
+    """Run Fig. 4 and the Fig. 6 sweep and derive the headline numbers.
+
+    Savings are ERP-averaged, matching the paper's "on average" claims.
+    """
+    fig4 = run_fig4(scale)
+    sweep = run_fig6(scale, erps)
+    act = activity_saving_percent(fig4)
+
+    dist_g = _mean_over_erp(sweep, "greedy", "traveling_distance_m")
+    dist_p = _mean_over_erp(sweep, "partition", "traveling_distance_m")
+    dist_c = _mean_over_erp(sweep, "combined", "traveling_distance_m")
+    nonf_g = _mean_over_erp(sweep, "greedy", "avg_nonfunctional_fraction")
+    nonf_p = _mean_over_erp(sweep, "partition", "avg_nonfunctional_fraction")
+    nonf_c = _mean_over_erp(sweep, "combined", "avg_nonfunctional_fraction")
+
+    def pct_saved(base: float, ours: float) -> float:
+        return 100.0 * (base - ours) / base if base > 0 else 0.0
+
+    return {
+        "activity_mgmt_saving_pct": float(np.mean(list(act.values()))),
+        "partition_distance_saving_pct": pct_saved(dist_g, dist_p),
+        "combined_distance_saving_pct": pct_saved(dist_g, dist_c),
+        "partition_nonfunctional_reduction_pct": pct_saved(nonf_g, nonf_p),
+        "combined_nonfunctional_reduction_pct": pct_saved(nonf_g, nonf_c),
+    }
+
+
+def format_headline(result: Dict[str, float]) -> str:
+    paper = {
+        "activity_mgmt_saving_pct": 16.0,
+        "partition_distance_saving_pct": 41.0,
+        "combined_distance_saving_pct": 13.0,
+        "partition_nonfunctional_reduction_pct": 23.0,
+        "combined_nonfunctional_reduction_pct": 52.0,
+    }
+    rows: List[list] = [
+        [name, paper[name], result[name]] for name in paper
+    ]
+    return format_table(
+        ["claim", "paper (%)", "measured (%)"],
+        rows,
+        precision=1,
+        title="Section I headline claims - paper vs measured",
+    )

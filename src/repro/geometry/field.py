@@ -1,0 +1,139 @@
+"""The sensing field: a square region with a base station at its center.
+
+Mirrors Section II of the paper: ``N`` sensors uniformly randomly
+deployed over an ``L x L`` square, a base station at the center that
+collects data and recharges the RVs, and Eq. (1)'s estimate of the
+minimum sensor count for full coverage under the hexagon-covering result
+of Williams [20].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .points import as_points
+
+__all__ = [
+    "Field",
+    "minimum_sensors_eq1",
+    "hexagon_covering_bound",
+]
+
+
+def minimum_sensors_eq1(area: float, sensing_range: float) -> int:
+    """Minimum sensor count for full coverage per the paper's Eq. (1).
+
+    .. math:: N = \\frac{3\\sqrt{3}\\, S_a}{2\\pi^2 r^2}
+
+    ``area`` is the field area :math:`S_a` in m^2 and ``sensing_range``
+    the sensing radius :math:`r` in meters.  The value is rounded up —
+    fractional sensors do not exist.
+
+    Note:
+        The ICPP camera-ready typesets Eq. (1) ambiguously; we implement
+        it exactly as printed.  :func:`hexagon_covering_bound` provides
+        the classical triangular-lattice covering bound for comparison.
+    """
+    if area <= 0:
+        raise ValueError("area must be positive")
+    if sensing_range <= 0:
+        raise ValueError("sensing_range must be positive")
+    return int(math.ceil(3.0 * math.sqrt(3.0) * area / (2.0 * math.pi**2 * sensing_range**2)))
+
+
+def hexagon_covering_bound(area: float, sensing_range: float) -> int:
+    """Classical covering bound: one hexagon inscribed per sensing disk.
+
+    A disk of radius ``r`` covers at most the area of its inscribed
+    regular hexagon, :math:`(3\\sqrt{3}/2) r^2`, when disks tile the
+    plane on a triangular lattice (Williams [20]).  Hence
+    :math:`N \\ge 2 S_a / (3\\sqrt{3} r^2)`.
+    """
+    if area <= 0:
+        raise ValueError("area must be positive")
+    if sensing_range <= 0:
+        raise ValueError("sensing_range must be positive")
+    return int(math.ceil(2.0 * area / (3.0 * math.sqrt(3.0) * sensing_range**2)))
+
+
+@dataclass(frozen=True)
+class Field:
+    """A square sensing field of side ``side_length`` meters.
+
+    The base station sits at the center of the field (paper, Section
+    II-A); it is the depot from which RVs depart and to which sensing
+    data is routed.
+    """
+
+    side_length: float
+    base_station: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.side_length <= 0:
+            raise ValueError("side_length must be positive")
+        center = np.array([self.side_length / 2.0, self.side_length / 2.0])
+        object.__setattr__(self, "base_station", center)
+
+    @property
+    def area(self) -> float:
+        """Field area :math:`S_a = L^2` in m^2."""
+        return self.side_length * self.side_length
+
+    def contains(self, pts: np.ndarray) -> np.ndarray:
+        """Boolean mask: which points lie inside (or on) the field."""
+        pts = as_points(pts)
+        inside_x = (pts[:, 0] >= 0.0) & (pts[:, 0] <= self.side_length)
+        inside_y = (pts[:, 1] >= 0.0) & (pts[:, 1] <= self.side_length)
+        return inside_x & inside_y
+
+    def deploy_uniform(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Deploy ``n`` points uniformly at random over the field.
+
+        This is the paper's random deployment (Section II-B): cheap to
+        realize physically (airplane / artillery dispersal) at the cost
+        of needing more nodes than a deterministic placement.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return rng.uniform(0.0, self.side_length, size=(n, 2))
+
+    def random_points(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Alias of :meth:`deploy_uniform` for target placement."""
+        return self.deploy_uniform(n, rng)
+
+    def deploy_triangular_lattice(self, sensing_range: float) -> np.ndarray:
+        """Deterministic placement: the optimal triangular covering lattice.
+
+        Rows are spaced ``1.5 * r`` apart with points every
+        ``sqrt(3) * r``, odd rows offset by half a step — each disk of
+        radius ``r`` covers its inscribed hexagon and the hexagons tile
+        the plane (Williams [20]).  This is the deterministic placement
+        Section II-B contrasts with random deployment: full coverage
+        with near-minimal sensors, at the cost of surveyed positions.
+
+        Returns:
+            ``(n, 2)`` lattice points covering the whole field.
+        """
+        if sensing_range <= 0:
+            raise ValueError("sensing_range must be positive")
+        dx = math.sqrt(3.0) * sensing_range
+        dy = 1.5 * sensing_range
+        points = []
+        row = 0
+        y = 0.0
+        while y <= self.side_length + dy:
+            offset = 0.0 if row % 2 == 0 else dx / 2.0
+            x = offset
+            while x <= self.side_length + dx:
+                points.append((min(x, self.side_length), min(y, self.side_length)))
+                x += dx
+            y += dy
+            row += 1
+        return np.array(points, dtype=np.float64)
+
+    def minimum_sensors(self, sensing_range: float) -> int:
+        """Eq. (1) coverage bound evaluated for this field."""
+        return minimum_sensors_eq1(self.area, sensing_range)

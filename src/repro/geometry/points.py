@@ -1,0 +1,135 @@
+"""Vectorized planar-geometry primitives.
+
+All positions in this library are ``float64`` arrays of shape ``(n, 2)``
+holding ``(x, y)`` coordinates in meters.  These helpers are the single
+place where distance math lives so that every consumer (routing, the
+schedulers, the simulator) agrees on the metric and benefits from the
+same vectorization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+__all__ = [
+    "as_points",
+    "distance",
+    "distances_from",
+    "pairwise_distances",
+    "pairs_within",
+    "neighbors_within",
+    "path_length",
+    "nearest_index",
+]
+
+
+def as_points(pts: np.ndarray) -> np.ndarray:
+    """Validate and canonicalize an ``(n, 2)`` float point array.
+
+    Accepts anything :func:`numpy.asarray` accepts; a single point may be
+    given as a flat pair and is promoted to shape ``(1, 2)``.
+
+    Raises:
+        ValueError: if the input cannot be interpreted as 2-D points or
+            contains non-finite coordinates.
+    """
+    arr = np.asarray(pts, dtype=np.float64)
+    if arr.ndim == 1:
+        if arr.shape[0] != 2:
+            raise ValueError(f"a single point must have 2 coordinates, got {arr.shape[0]}")
+        arr = arr.reshape(1, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected shape (n, 2), got {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("point coordinates must be finite")
+    return arr
+
+
+def distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two single points."""
+    a = np.asarray(a, dtype=np.float64).reshape(2)
+    b = np.asarray(b, dtype=np.float64).reshape(2)
+    return float(np.hypot(a[0] - b[0], a[1] - b[1]))
+
+
+def distances_from(origin: np.ndarray, pts: np.ndarray) -> np.ndarray:
+    """Distances from one ``origin`` point to every row of ``pts``.
+
+    Returns a 1-D array of length ``len(pts)``.
+    """
+    pts = as_points(pts)
+    origin = np.asarray(origin, dtype=np.float64).reshape(2)
+    d = pts - origin
+    return np.hypot(d[:, 0], d[:, 1])
+
+
+def pairwise_distances(a: np.ndarray, b: Optional[np.ndarray] = None) -> np.ndarray:
+    """Full distance matrix between point sets ``a`` and ``b``.
+
+    With ``b=None`` computes the symmetric self-distance matrix of ``a``.
+    Uses broadcasting rather than ``scipy.spatial.distance.cdist`` so the
+    function stays allocation-predictable for the small matrices the
+    schedulers build (tens to hundreds of points).
+    """
+    a = as_points(a)
+    b = a if b is None else as_points(b)
+    diff = a[:, None, :] - b[None, :, :]
+    return np.hypot(diff[..., 0], diff[..., 1])
+
+
+def pairs_within(pts: np.ndarray, radius: float) -> np.ndarray:
+    """All index pairs ``(i, j), i < j`` with ``dist <= radius``.
+
+    Backed by a k-d tree, so building a unit-disk communication graph is
+    ``O(n log n + k)`` instead of the naive ``O(n^2)``.  Returns an
+    ``(k, 2)`` int array (possibly empty).
+    """
+    pts = as_points(pts)
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if len(pts) < 2:
+        return np.empty((0, 2), dtype=np.intp)
+    tree = cKDTree(pts)
+    pairs = tree.query_pairs(r=radius, output_type="ndarray")
+    return pairs.astype(np.intp, copy=False)
+
+
+def neighbors_within(centers: np.ndarray, pts: np.ndarray, radius: float) -> list:
+    """For each center, the indices of ``pts`` within ``radius``.
+
+    Returns a list (one entry per center) of sorted int arrays.  This is
+    the primitive behind "which sensors can detect target t".
+    """
+    centers = as_points(centers)
+    pts = as_points(pts)
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if len(pts) == 0:
+        return [np.empty(0, dtype=np.intp) for _ in range(len(centers))]
+    tree = cKDTree(pts)
+    hits = tree.query_ball_point(centers, r=radius)
+    return [np.asarray(sorted(h), dtype=np.intp) for h in hits]
+
+
+def path_length(pts: np.ndarray) -> float:
+    """Total polyline length visiting the rows of ``pts`` in order."""
+    pts = as_points(pts)
+    if len(pts) < 2:
+        return 0.0
+    seg = np.diff(pts, axis=0)
+    return float(np.hypot(seg[:, 0], seg[:, 1]).sum())
+
+
+def nearest_index(origin: np.ndarray, pts: np.ndarray) -> int:
+    """Index of the row of ``pts`` closest to ``origin``.
+
+    Ties resolve to the lowest index (``numpy.argmin`` semantics), which
+    keeps every consumer deterministic.
+    """
+    d = distances_from(origin, pts)
+    if d.size == 0:
+        raise ValueError("cannot take nearest of an empty point set")
+    return int(np.argmin(d))

@@ -1,0 +1,7 @@
+"""Mobile entities: targets and recharging vehicles."""
+
+from .targets import TargetProcess
+from .vehicles import RechargingVehicle, RVStats
+from .waypoint import RandomWaypointProcess
+
+__all__ = ["RandomWaypointProcess", "RechargingVehicle", "RVStats", "TargetProcess"]

@@ -1,0 +1,53 @@
+"""The target process.
+
+Section II-A: ``M`` targets appear at uniformly random locations, stay
+for a *target period* (Table II: 3 hours), then reappear elsewhere.  All
+targets relocate on the shared period — which is what makes periodic
+re-clustering an event the simulator can schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.field import Field
+
+__all__ = ["TargetProcess"]
+
+
+class TargetProcess:
+    """``m`` randomly relocating point targets on a field.
+
+    Args:
+        field: the sensing field to place targets on.
+        m: number of targets.
+        period_s: dwell time before every relocation (seconds).
+        rng: random generator driving placements.
+    """
+
+    def __init__(self, field: Field, m: int, period_s: float, rng: np.random.Generator) -> None:
+        if m < 0:
+            raise ValueError("m must be non-negative")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.field = field
+        self.m = m
+        self.period_s = float(period_s)
+        self._rng = rng
+        self.positions = field.random_points(m, rng)
+        self.epoch = 0  # how many relocations have happened
+
+    def relocate(self) -> np.ndarray:
+        """Move every target to a fresh uniform location.
+
+        Returns the new ``(m, 2)`` positions (also stored on
+        :attr:`positions`).
+        """
+        self.positions = self.field.random_points(self.m, self._rng)
+        self.epoch += 1
+        return self.positions
+
+    def next_relocation_after(self, now_s: float) -> float:
+        """Absolute time of the first relocation strictly after ``now_s``."""
+        k = int(np.floor(now_s / self.period_s)) + 1
+        return k * self.period_s

@@ -1,0 +1,143 @@
+"""Recharging Vehicles (RVs).
+
+Section II-A: RVs move at constant speed ``vr`` (Table II: 1 m/s),
+consume ``em`` Joules per meter of travel (5.6 J/m), deliver energy to
+sensors wirelessly, and replenish their own batteries at the base
+station.  The onboard budget ``Cr`` caps one sortie's delivered energy
+plus traveling energy (constraint (7)).
+
+The RV object is deliberately passive: it executes moves and charge
+transfers and keeps books; deciding *where* to go is the scheduler's
+job, and *when* is the simulator's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..energy.battery import Battery
+from ..geometry.points import distance
+
+__all__ = ["RechargingVehicle", "RVStats"]
+
+
+@dataclass
+class RVStats:
+    """Cumulative books kept by one RV over a simulation."""
+
+    distance_m: float = 0.0
+    moving_energy_j: float = 0.0
+    delivered_energy_j: float = 0.0
+    nodes_recharged: int = 0
+    sorties: int = 0
+    depot_visits: int = 0
+
+
+@dataclass
+class RechargingVehicle:
+    """One mobile charger.
+
+    Args:
+        rv_id: stable identifier (index into the fleet).
+        depot: base-station coordinates; the RV starts here.
+        speed_mps: travel speed ``vr``.
+        moving_cost_j_per_m: travel energy rate ``em``.
+        capacity_j: sortie budget ``Cr`` — delivered energy plus
+            traveling energy per sortie may not exceed it.
+    """
+
+    rv_id: int
+    depot: np.ndarray
+    speed_mps: float = 1.0
+    moving_cost_j_per_m: float = 5.6
+    capacity_j: float = 200_000.0
+    position: np.ndarray = field(init=False)
+    battery: Battery = field(init=False)
+    stats: RVStats = field(init=False)
+    itinerary: List[int] = field(init=False)
+    busy: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        if self.speed_mps <= 0:
+            raise ValueError("speed_mps must be positive")
+        if self.moving_cost_j_per_m < 0:
+            raise ValueError("moving_cost_j_per_m must be non-negative")
+        if self.capacity_j <= 0:
+            raise ValueError("capacity_j must be positive")
+        self.depot = np.asarray(self.depot, dtype=np.float64).reshape(2)
+        self.position = self.depot.copy()
+        self.battery = Battery(self.capacity_j)
+        self.stats = RVStats()
+        self.itinerary = []
+
+    @property
+    def at_depot(self) -> bool:
+        return bool(np.allclose(self.position, self.depot))
+
+    def travel_time_to(self, point: np.ndarray) -> float:
+        """Seconds to drive straight to ``point``."""
+        return distance(self.position, point) / self.speed_mps
+
+    def travel_energy_to(self, point: np.ndarray) -> float:
+        """Joules of traveling energy to reach ``point``."""
+        return distance(self.position, point) * self.moving_cost_j_per_m
+
+    def can_afford(self, travel_m: float, delivery_j: float) -> bool:
+        """Would a further ``travel_m`` meters plus ``delivery_j`` of
+        transfer fit in the remaining sortie budget, keeping enough to
+        get home?  ``travel_m`` should already include the return leg if
+        the caller wants a round-trip guarantee."""
+        need = travel_m * self.moving_cost_j_per_m + delivery_j
+        return need <= self.battery.level_j + 1e-9
+
+    def move_to(self, point: np.ndarray) -> float:
+        """Drive straight to ``point``; returns the travel time in seconds.
+
+        Debits the battery by ``em * distance`` and updates the books.
+        The move executes even if it overdraws the budget — schedulers
+        are responsible for only issuing affordable moves; the battery
+        clamps at zero and the discrepancy is visible in the stats.
+        """
+        point = np.asarray(point, dtype=np.float64).reshape(2)
+        d = distance(self.position, point)
+        t = d / self.speed_mps
+        e = d * self.moving_cost_j_per_m
+        self.battery.drain(e)
+        self.position = point.copy()
+        self.stats.distance_m += d
+        self.stats.moving_energy_j += e
+        return t
+
+    def deliver(self, amount_j: float, efficiency: float = 1.0) -> None:
+        """Transfer ``amount_j`` into a sensor battery.
+
+        Debits ``amount_j / efficiency`` from the RV budget and counts
+        the node as recharged.
+        """
+        if amount_j < 0:
+            raise ValueError("amount_j must be non-negative")
+        if not 0.0 < efficiency <= 1.0:
+            raise ValueError("efficiency must lie in (0, 1]")
+        self.battery.drain(amount_j / efficiency)
+        self.stats.delivered_energy_j += amount_j
+        self.stats.nodes_recharged += 1
+
+    def return_to_depot(self) -> float:
+        """Drive home and refill the sortie budget; returns travel time."""
+        t = self.move_to(self.depot)
+        self.battery.refill()
+        self.stats.depot_visits += 1
+        return t
+
+    def begin_sortie(self, itinerary: List[int]) -> None:
+        """Record the node sequence this sortie will serve."""
+        self.itinerary = list(itinerary)
+        self.busy = True
+        self.stats.sorties += 1
+
+    def end_sortie(self) -> None:
+        self.itinerary = []
+        self.busy = False

@@ -1,0 +1,100 @@
+"""Random-waypoint target mobility (extension).
+
+The paper's targets teleport to fresh uniform locations every target
+period — convenient, but physical targets (animals, vehicles) move
+continuously.  This module provides the classic random-waypoint model:
+each target walks toward a uniformly drawn waypoint at constant speed,
+draws the next waypoint on arrival, and so on.
+
+The simulation world only *observes* target positions when clusters are
+re-formed (once per target period), so the process exposes the same
+interface as :class:`~repro.mobility.targets.TargetProcess`:
+``relocate()`` advances the walk by one period and returns the new
+positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.field import Field
+
+__all__ = ["RandomWaypointProcess"]
+
+
+class RandomWaypointProcess:
+    """Targets moving by the random-waypoint model.
+
+    Args:
+        field: the sensing field.
+        m: number of targets.
+        period_s: observation cadence (the target period — clusters are
+            re-formed each time :meth:`relocate` is called).
+        rng: random generator.
+        speed_mps: walking speed of every target.
+    """
+
+    def __init__(
+        self,
+        field: Field,
+        m: int,
+        period_s: float,
+        rng: np.random.Generator,
+        speed_mps: float = 0.5,
+    ) -> None:
+        if m < 0:
+            raise ValueError("m must be non-negative")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if speed_mps <= 0:
+            raise ValueError("speed_mps must be positive")
+        self.field = field
+        self.m = m
+        self.period_s = float(period_s)
+        self.speed_mps = float(speed_mps)
+        self._rng = rng
+        self.positions = field.random_points(m, rng)
+        self._waypoints = field.random_points(m, rng)
+        self.epoch = 0
+
+    def _advance(self, dt_s: float) -> None:
+        """Walk every target ``dt_s`` seconds toward its waypoint,
+        drawing new waypoints as they are reached."""
+        if self.m == 0:
+            return
+        remaining = np.full(self.m, dt_s, dtype=np.float64)
+        # A few refresh rounds: each target rarely crosses more than a
+        # handful of waypoints in one period.
+        for _ in range(64):
+            moving = remaining > 1e-12
+            if not np.any(moving):
+                break
+            delta = self._waypoints - self.positions
+            dist = np.hypot(delta[:, 0], delta[:, 1])
+            reach_t = dist / self.speed_mps
+            # Arrived this round: the waypoint is reachable within the
+            # remaining time budget (evaluated before stepping).
+            arrived = moving & (reach_t <= remaining + 1e-12)
+            step_t = np.where(moving, np.minimum(remaining, reach_t), 0.0)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                unit = np.where(dist[:, None] > 0, delta / dist[:, None], 0.0)
+            self.positions = self.positions + unit * (step_t[:, None] * self.speed_mps)
+            remaining = remaining - step_t
+            if np.any(arrived):
+                self.positions[arrived] = self._waypoints[arrived]
+                self._waypoints[arrived] = self.field.random_points(
+                    int(arrived.sum()), self._rng
+                )
+        # Numerical safety: clamp inside the field.
+        np.clip(self.positions, 0.0, self.field.side_length, out=self.positions)
+
+    def relocate(self) -> np.ndarray:
+        """Advance the walk by one period; returns the new positions."""
+        self._advance(self.period_s)
+        self.epoch += 1
+        return self.positions
+
+    def next_relocation_after(self, now_s: float) -> float:
+        """Absolute time of the first observation strictly after ``now_s``."""
+        k = int(np.floor(now_s / self.period_s)) + 1
+        return k * self.period_s

@@ -1,0 +1,89 @@
+"""Link quality: packet reception ratio and ETX link metrics.
+
+The base topology treats every link within the communication range as
+perfect.  Real low-power links degrade near the edge of the range; the
+standard abstraction is the **packet reception ratio** (PRR) and the
+**expected transmission count** ETX = 1 / (PRR_fwd * PRR_rev) used by
+collection protocols (CTP et al.).
+
+This module provides:
+
+* :func:`prr_from_distance` — a two-regime PRR model: perfect inside a
+  fraction of the range, linear decay to ``edge_prr`` at the range
+  boundary (the classic "grey region" abstraction);
+* :func:`etx_weights` — ETX values for every arc of a topology;
+* :func:`apply_etx_metric` — a topology whose edge weights are
+  ETX-scaled lengths, so :class:`~repro.network.routing.RoutingTree`
+  built on it routes around weak links, and relay-energy accounting can
+  charge retransmissions.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Tuple
+
+import numpy as np
+
+from .topology import Topology
+
+__all__ = ["prr_from_distance", "etx_weights", "apply_etx_metric"]
+
+
+def prr_from_distance(
+    dist_m: np.ndarray,
+    comm_range_m: float,
+    grey_start_fraction: float = 0.7,
+    edge_prr: float = 0.5,
+) -> np.ndarray:
+    """Packet reception ratio of links of the given lengths.
+
+    Perfect (1.0) below ``grey_start_fraction * range``; linear decay
+    down to ``edge_prr`` at exactly the communication range; 0 beyond.
+    """
+    if comm_range_m <= 0:
+        raise ValueError("comm_range_m must be positive")
+    if not 0.0 <= grey_start_fraction <= 1.0:
+        raise ValueError("grey_start_fraction must lie in [0, 1]")
+    if not 0.0 < edge_prr <= 1.0:
+        raise ValueError("edge_prr must lie in (0, 1]")
+    dist = np.asarray(dist_m, dtype=np.float64)
+    grey_start = grey_start_fraction * comm_range_m
+    span = max(comm_range_m - grey_start, 1e-12)
+    frac = np.clip((dist - grey_start) / span, 0.0, 1.0)
+    prr = 1.0 - frac * (1.0 - edge_prr)
+    return np.where(dist <= comm_range_m, prr, 0.0)
+
+
+def etx_weights(
+    topology: Topology,
+    grey_start_fraction: float = 0.7,
+    edge_prr: float = 0.5,
+) -> np.ndarray:
+    """ETX per CSR arc of ``topology`` (symmetric links: ETX = PRR^-2)."""
+    prr = prr_from_distance(
+        topology.weights, topology.comm_range, grey_start_fraction, edge_prr
+    )
+    if np.any(prr <= 0):
+        raise ValueError("a link within range has zero PRR; check the model parameters")
+    return 1.0 / (prr * prr)
+
+
+def apply_etx_metric(
+    topology: Topology,
+    grey_start_fraction: float = 0.7,
+    edge_prr: float = 0.5,
+) -> Tuple[Topology, np.ndarray]:
+    """A topology clone whose edge weights are ``length * ETX``.
+
+    Shortest paths on the clone minimize expected *transmission-meters*
+    — long edge-of-range hops are penalized by their retransmissions.
+
+    Returns:
+        ``(etx_topology, etx_per_arc)`` — the clone (aligned CSR arrays)
+        and the raw per-arc ETX (for energy accounting).
+    """
+    etx = etx_weights(topology, grey_start_fraction, edge_prr)
+    clone = copy.copy(topology)
+    clone.weights = topology.weights * etx
+    return clone, etx

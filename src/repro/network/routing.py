@@ -1,0 +1,81 @@
+"""Shortest-path-tree routing to the base station.
+
+Every sensor forwards its reports along the Dijkstra shortest path to
+the base station (paper, Section V).  The whole routing state is one
+parent vector rooted at the base vertex, which makes relay-load
+accounting (see :mod:`repro.network.traffic`) a linear pass.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .dijkstra import shortest_paths
+from .topology import Topology
+
+__all__ = ["RoutingTree"]
+
+
+class RoutingTree:
+    """The shortest-path tree rooted at the base station.
+
+    Attributes:
+        dist: distance of every vertex to the base (``inf`` when
+            disconnected).
+        parent: next hop of every vertex *toward* the base (``-1`` for
+            the base itself and for disconnected vertices).
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        if topology.base_index is None:
+            raise ValueError("routing requires a topology with a base station")
+        self.topology = topology
+        self.base = topology.base_index
+        # Dijkstra from the base; on an undirected graph the tree of
+        # parents *from* the base is exactly the next-hop tree *to* it.
+        self.dist, self.parent = shortest_paths(
+            topology.indptr, topology.indices, topology.weights, self.base
+        )
+
+    @property
+    def n_sensors(self) -> int:
+        return self.topology.n_sensors
+
+    def connected_mask(self) -> np.ndarray:
+        """Sensors with a route to the base station."""
+        return np.isfinite(self.dist[: self.n_sensors])
+
+    def next_hop(self, node: int) -> int:
+        """The vertex ``node`` forwards to (may be the base index)."""
+        hop = int(self.parent[node])
+        if hop < 0 and node != self.base:
+            raise ValueError(f"node {node} has no route to the base station")
+        return hop
+
+    def path_to_base(self, node: int) -> List[int]:
+        """Vertex sequence from ``node`` to the base station, inclusive."""
+        if not np.isfinite(self.dist[node]):
+            raise ValueError(f"node {node} has no route to the base station")
+        path = [int(node)]
+        while path[-1] != self.base:
+            path.append(int(self.parent[path[-1]]))
+            if len(path) > len(self.topology):
+                raise RuntimeError("routing parent pointers contain a cycle")
+        return path
+
+    def hop_counts(self) -> np.ndarray:
+        """Number of hops from each sensor to the base (-1 if unreachable).
+
+        Computed iteratively in topological (distance) order so the pass
+        is linear in the number of vertices.
+        """
+        order = np.argsort(self.dist, kind="stable")
+        hops = np.full(len(self.topology), -1, dtype=np.int64)
+        hops[self.base] = 0
+        for v in order:
+            p = self.parent[v]
+            if p >= 0 and hops[p] >= 0:
+                hops[v] = hops[p] + 1
+        return hops[: self.n_sensors]

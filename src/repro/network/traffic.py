@@ -1,0 +1,70 @@
+"""Per-node traffic accounting on the routing tree.
+
+Active sensors originate ``lambda`` packets per second; every packet is
+forwarded hop by hop to the base station.  A node's *relay* load is the
+rate of packets it forwards for others — each costing one receive plus
+one transmit (its own originations cost only the transmit, which the
+power model charges to the active node).
+
+The load computation is a single pass over vertices in decreasing
+distance-to-base order: by the time a vertex is processed all of its
+subtree has already pushed its rate into it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .routing import RoutingTree
+
+__all__ = ["relay_rates", "subtree_rates"]
+
+
+def subtree_rates(tree: RoutingTree, origination_rates: np.ndarray) -> np.ndarray:
+    """Total packet rate passing *through* each vertex (own + relayed).
+
+    Args:
+        tree: the routing tree.
+        origination_rates: packets/second originated by each sensor
+            (length ``n_sensors``); disconnected sensors are ignored —
+            their packets never enter the network.
+
+    Returns:
+        Array of length ``n_sensors + 1`` (the base is last): packets per
+        second carried by each vertex.  The base entry is the total
+        delivered rate.
+    """
+    origination_rates = np.asarray(origination_rates, dtype=np.float64)
+    if origination_rates.shape != (tree.n_sensors,):
+        raise ValueError(
+            f"expected origination rates of shape ({tree.n_sensors},), got {origination_rates.shape}"
+        )
+    if np.any(origination_rates < 0):
+        raise ValueError("origination rates must be non-negative")
+    n_total = len(tree.topology)
+    through = np.zeros(n_total, dtype=np.float64)
+    connected = np.isfinite(tree.dist[: tree.n_sensors])
+    through[: tree.n_sensors] = np.where(connected, origination_rates, 0.0)
+    # Farthest-first accumulation along parent pointers.
+    order = np.argsort(tree.dist, kind="stable")[::-1]
+    for v in order:
+        if v == tree.base or not np.isfinite(tree.dist[v]):
+            continue
+        p = tree.parent[v]
+        if p >= 0:
+            through[p] += through[v]
+    return through
+
+
+def relay_rates(tree: RoutingTree, origination_rates: np.ndarray) -> np.ndarray:
+    """Packets/second each *sensor* forwards on behalf of others.
+
+    ``relay = through - own`` for connected sensors; zero otherwise.
+    """
+    origination_rates = np.asarray(origination_rates, dtype=np.float64)
+    through = subtree_rates(tree, origination_rates)
+    connected = np.isfinite(tree.dist[: tree.n_sensors])
+    own = np.where(connected, origination_rates, 0.0)
+    relay = through[: tree.n_sensors] - own
+    # Guard against negative zeros from floating-point subtraction.
+    return np.maximum(relay, 0.0)

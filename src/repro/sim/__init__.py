@@ -1,0 +1,27 @@
+"""Discrete-event simulation of the WRSN world."""
+
+from .config import DAY_S, HOUR_S, SimulationConfig
+from .engine import EventHandle, Simulator
+from .metrics import MetricsCollector, SimulationSummary
+from .runner import average_summaries, make_scheduler, run_seeds, run_simulation
+from .trace import EventKind, NullRecorder, TraceEvent, TraceRecorder
+from .world import World
+
+__all__ = [
+    "DAY_S",
+    "EventHandle",
+    "HOUR_S",
+    "EventKind",
+    "MetricsCollector",
+    "NullRecorder",
+    "SimulationConfig",
+    "TraceEvent",
+    "TraceRecorder",
+    "SimulationSummary",
+    "Simulator",
+    "World",
+    "average_summaries",
+    "make_scheduler",
+    "run_seeds",
+    "run_simulation",
+]

@@ -1,0 +1,122 @@
+"""A minimal deterministic discrete-event simulation core.
+
+The WRSN world (see :mod:`repro.sim.world`) advances battery state
+*analytically* between events, so all the engine must provide is a
+priority queue of timestamped callbacks with deterministic ordering:
+
+* events fire in time order;
+* simultaneous events fire in (priority, insertion-sequence) order, so
+  reruns of the same seed replay identically;
+* events can be cancelled (lazy deletion, as in the classic heapq
+  recipe).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["EventHandle", "Simulator"]
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    priority: int
+    seq: int
+    callback: Optional[Callable[[], None]] = field(compare=False)
+
+
+@dataclass
+class EventHandle:
+    """Opaque handle returned by :meth:`Simulator.schedule`; pass to
+    :meth:`Simulator.cancel` to revoke the event."""
+
+    _entry: _Entry
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.callback is None
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+
+class Simulator:
+    """Event loop with a monotonically advancing clock (seconds)."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq = itertools.count()
+        self.events_fired = 0
+
+    def schedule(
+        self,
+        at: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``at``.
+
+        ``priority`` breaks ties among simultaneous events: lower fires
+        first (e.g. energy accounting before scheduling decisions).
+
+        Raises:
+            ValueError: when scheduling into the past.
+        """
+        if at < self.now:
+            raise ValueError(f"cannot schedule at {at} < now {self.now}")
+        entry = _Entry(float(at), priority, next(self._seq), callback)
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule(self.now + delay, callback, priority)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Revoke a scheduled event (idempotent)."""
+        handle._entry.callback = None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None when the queue is empty."""
+        while self._heap and self._heap[0].callback is None:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.callback is None:
+                continue
+            self.now = entry.time
+            cb = entry.callback
+            entry.callback = None
+            self.events_fired += 1
+            cb()
+            return True
+        return False
+
+    def run_until(self, t_end: float) -> None:
+        """Fire events up to and including time ``t_end``; the clock
+        lands exactly on ``t_end`` afterwards."""
+        if t_end < self.now:
+            raise ValueError(f"t_end {t_end} is in the past (now {self.now})")
+        while True:
+            nxt = self.peek_time()
+            if nxt is None or nxt > t_end:
+                break
+            self.step()
+        self.now = t_end

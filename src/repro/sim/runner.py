@@ -1,0 +1,114 @@
+"""Run helpers: scheduler factory, single runs, seed-averaged sweeps.
+
+The experiment drivers (``repro.experiments``) and the benchmark suite
+go through these functions so every figure is produced by the same code
+path.  Seed fan-out can run across processes (``processes > 1``) —
+configurations and summaries are plain frozen dataclasses, so they
+cross process boundaries for free.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.combined import CombinedScheduler
+from ..core.extensions import (
+    DeadlineAwareScheduler,
+    FCFSScheduler,
+    NearestFirstScheduler,
+    TwoOptInsertionScheduler,
+)
+from ..core.greedy import GreedyScheduler
+from ..core.insertion import InsertionScheduler
+from ..core.partition import PartitionScheduler
+from ..core.scheduling import Scheduler
+from .config import SimulationConfig
+from .metrics import SimulationSummary
+from .world import World
+
+__all__ = ["make_scheduler", "run_simulation", "run_seeds", "average_summaries"]
+
+
+def make_scheduler(name: str, fleet_size: int) -> Scheduler:
+    """Instantiate a scheduler by its paper name.
+
+    ``insertion`` is the single-RV Algorithm 3; with a fleet it behaves
+    like the Combined-Scheme (see :mod:`repro.core.combined`).
+    """
+    if name == "greedy":
+        return GreedyScheduler()
+    if name == "insertion":
+        return InsertionScheduler()
+    if name == "partition":
+        return PartitionScheduler(fleet_size)
+    if name == "combined":
+        return CombinedScheduler()
+    if name == "fcfs":
+        return FCFSScheduler()
+    if name == "nearest":
+        return NearestFirstScheduler()
+    if name == "insertion+2opt":
+        return TwoOptInsertionScheduler()
+    if name == "deadline":
+        return DeadlineAwareScheduler()
+    raise ValueError(f"unknown scheduler {name!r}")
+
+
+def run_simulation(config: SimulationConfig) -> SimulationSummary:
+    """Build a world from ``config``, run it, return the summary."""
+    return World(config).run()
+
+
+def default_processes() -> int:
+    """Worker count for parallel seed fan-out.
+
+    Honors the ``REPRO_PROCS`` environment variable; ``1`` (serial) by
+    default so library users opt in explicitly.
+    """
+    value = os.environ.get("REPRO_PROCS", "1")
+    try:
+        n = int(value)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_PROCS must be an integer, got {value!r}") from exc
+    if n < 1:
+        raise ValueError("REPRO_PROCS must be >= 1")
+    return n
+
+
+def run_seeds(
+    config: SimulationConfig,
+    seeds: Sequence[int],
+    processes: Optional[int] = None,
+) -> List[SimulationSummary]:
+    """Run the same configuration under several seeds.
+
+    Args:
+        config: the base configuration (its ``seed`` is overridden).
+        seeds: seeds to run; results come back in this order.
+        processes: worker processes.  ``None`` consults
+            :func:`default_processes`; ``1`` runs serially in-process.
+    """
+    configs = [config.with_overrides(seed=s) for s in seeds]
+    n_procs = default_processes() if processes is None else processes
+    if n_procs < 1:
+        raise ValueError("processes must be >= 1")
+    if n_procs == 1 or len(configs) <= 1:
+        return [run_simulation(c) for c in configs]
+    # Prefer fork (cheap, and robust for REPL/stdin callers); fall back
+    # to spawn on platforms without it.
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    with multiprocessing.get_context(method).Pool(min(n_procs, len(configs))) as pool:
+        return pool.map(run_simulation, configs)
+
+
+def average_summaries(summaries: Iterable[SimulationSummary]) -> Dict[str, float]:
+    """Field-wise mean of several summaries (for seed averaging)."""
+    dicts = [s.as_dict() for s in summaries]
+    if not dicts:
+        raise ValueError("no summaries to average")
+    keys = dicts[0].keys()
+    return {k: float(np.mean([d[k] for d in dicts])) for k in keys}

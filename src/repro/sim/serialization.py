@@ -1,0 +1,96 @@
+"""JSON-friendly (de)serialization of configurations and summaries.
+
+Configurations nest frozen dataclasses (charge model, radio, detector);
+this module flattens them to plain dicts so runs can be described in
+JSON files, launched from the CLI, and archived next to their results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..energy.consumption import NodePowerModel, RadioModel, SensingModel
+from ..energy.recharge import ChargeModel
+from .config import SimulationConfig
+from .metrics import SimulationSummary
+
+__all__ = ["config_to_dict", "config_from_dict", "summary_to_dict"]
+
+
+def config_to_dict(config: SimulationConfig) -> Dict[str, Any]:
+    """A plain-dict (JSON-serializable) view of a configuration."""
+    return {
+        "n_sensors": config.n_sensors,
+        "n_targets": config.n_targets,
+        "n_rvs": config.n_rvs,
+        "side_length_m": config.side_length_m,
+        "comm_range_m": config.comm_range_m,
+        "sensing_range_m": config.sensing_range_m,
+        "sim_time_s": config.sim_time_s,
+        "target_period_s": config.target_period_s,
+        "threshold_fraction": config.threshold_fraction,
+        "rv_moving_cost_j_per_m": config.rv_moving_cost_j_per_m,
+        "rv_speed_mps": config.rv_speed_mps,
+        "erp": config.erp,
+        "adaptive_erp": config.adaptive_erp,
+        "rv_depot_dwell_s": config.rv_depot_dwell_s,
+        "scheduler": config.scheduler,
+        "activation": config.activation,
+        "clustering": config.clustering,
+        "target_mobility": config.target_mobility,
+        "target_speed_mps": config.target_speed_mps,
+        "routing_metric": config.routing_metric,
+        "battery_capacity_j": config.battery_capacity_j,
+        "self_discharge_fraction_per_day": config.self_discharge_fraction_per_day,
+        "initial_charge_range": list(config.initial_charge_range),
+        "rv_capacity_j": config.rv_capacity_j,
+        "tick_s": config.tick_s,
+        "dispatch_period_s": config.dispatch_period_s,
+        "dispatch_on_idle": config.dispatch_on_idle,
+        "seed": config.seed,
+        "charge_model": {
+            "power_w": config.charge_model.power_w,
+            "efficiency": config.charge_model.efficiency,
+        },
+        "power_model": {
+            "packet_rate_hz": config.power_model.packet_rate_hz,
+            "payload_bytes": config.power_model.payload_bytes,
+            "radio": {
+                "tx_current_a": config.power_model.radio.tx_current_a,
+                "rx_current_a": config.power_model.radio.rx_current_a,
+                "idle_current_a": config.power_model.radio.idle_current_a,
+                "voltage_v": config.power_model.radio.voltage_v,
+                "bitrate_bps": config.power_model.radio.bitrate_bps,
+                "overhead_bytes": config.power_model.radio.overhead_bytes,
+            },
+            "sensing": {
+                "active_current_a": config.power_model.sensing.active_current_a,
+                "idle_current_a": config.power_model.sensing.idle_current_a,
+                "voltage_v": config.power_model.sensing.voltage_v,
+            },
+        },
+    }
+
+
+def config_from_dict(data: Dict[str, Any]) -> SimulationConfig:
+    """Rebuild a :class:`SimulationConfig` from :func:`config_to_dict`
+    output (missing keys fall back to the defaults)."""
+    data = dict(data)
+    charge = data.pop("charge_model", None)
+    power = data.pop("power_model", None)
+    kwargs: Dict[str, Any] = dict(data)
+    if "initial_charge_range" in kwargs:
+        kwargs["initial_charge_range"] = tuple(kwargs["initial_charge_range"])
+    if charge is not None:
+        kwargs["charge_model"] = ChargeModel(**charge)
+    if power is not None:
+        power = dict(power)
+        radio = RadioModel(**power.pop("radio", {}))
+        sensing = SensingModel(**power.pop("sensing", {}))
+        kwargs["power_model"] = NodePowerModel(radio=radio, sensing=sensing, **power)
+    return SimulationConfig(**kwargs)
+
+
+def summary_to_dict(summary: SimulationSummary) -> Dict[str, float]:
+    """Alias of :meth:`SimulationSummary.as_dict` for API symmetry."""
+    return summary.as_dict()

@@ -1,0 +1,141 @@
+"""Structured event tracing for simulations.
+
+A :class:`TraceRecorder` attached to a :class:`~repro.sim.world.World`
+captures every semantic event — request releases, RV departures and
+arrivals, recharges, depletions, relocations — as typed records with
+timestamps.  Traces power the time-series views (coverage over time,
+backlog over time), the visualizations in :mod:`repro.viz`, and the
+replay-determinism tests.
+
+Recording is opt-in (``World(config, trace=recorder)``); the default
+no-op recorder keeps the hot path free of bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["EventKind", "TraceEvent", "TraceRecorder", "NullRecorder"]
+
+
+class EventKind(Enum):
+    """The semantic event types a simulation emits."""
+
+    REQUEST_RELEASED = "request_released"
+    SORTIE_ASSIGNED = "sortie_assigned"
+    RV_ARRIVED = "rv_arrived"
+    NODE_RECHARGED = "node_recharged"
+    RV_RETURNED_HOME = "rv_returned_home"
+    SENSOR_DEPLETED = "sensor_depleted"
+    SENSOR_REVIVED = "sensor_revived"
+    TARGETS_RELOCATED = "targets_relocated"
+    ROTATION = "rotation"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record.
+
+    Attributes:
+        time_s: simulation time of the event.
+        kind: event type.
+        subject: the primary entity (sensor id, RV id, epoch...), -1 if
+            not applicable.
+        value: free numeric payload (energy delivered, count, ...).
+    """
+
+    time_s: float
+    kind: EventKind
+    subject: int = -1
+    value: float = 0.0
+
+
+class NullRecorder:
+    """Does nothing; the default when tracing is off."""
+
+    enabled = False
+
+    def emit(self, time_s: float, kind: EventKind, subject: int = -1, value: float = 0.0) -> None:
+        pass
+
+    def sample_series(self, time_s: float, name: str, value: float) -> None:
+        pass
+
+
+@dataclass
+class TraceRecorder:
+    """Collects trace events and named time series.
+
+    Series are sampled by the world at every bookkeeping event
+    (``coverage``, ``backlog``, ``alive`` ...), giving step-function
+    curves aligned with the event log.
+    """
+
+    events: List[TraceEvent] = field(default_factory=list)
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    enabled: bool = True
+
+    def emit(self, time_s: float, kind: EventKind, subject: int = -1, value: float = 0.0) -> None:
+        """Append one event record."""
+        self.events.append(TraceEvent(time_s, kind, subject, value))
+
+    def sample_series(self, time_s: float, name: str, value: float) -> None:
+        """Append one (t, value) sample to the named series."""
+        self.series.setdefault(name, []).append((time_s, float(value)))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def of_kind(self, kind: EventKind) -> List[TraceEvent]:
+        """All events of one kind, in time order."""
+        return [e for e in self.events if e.kind is kind]
+
+    def count(self, kind: EventKind) -> int:
+        return sum(1 for e in self.events if e.kind is kind)
+
+    def between(self, t0: float, t1: float) -> Iterator[TraceEvent]:
+        """Events with ``t0 <= time < t1``."""
+        return (e for e in self.events if t0 <= e.time_s < t1)
+
+    def series_arrays(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
+        """A named series as ``(times, values)`` arrays.
+
+        Raises:
+            KeyError: if the series was never sampled.
+        """
+        samples = self.series[name]
+        arr = np.asarray(samples, dtype=np.float64)
+        if arr.size == 0:
+            return np.empty(0), np.empty(0)
+        return arr[:, 0], arr[:, 1]
+
+    def request_latencies(self) -> List[Tuple[int, float]]:
+        """(node, latency) pairs matching releases to recharges."""
+        pending: Dict[int, float] = {}
+        out: List[Tuple[int, float]] = []
+        for e in self.events:
+            if e.kind is EventKind.REQUEST_RELEASED:
+                pending[e.subject] = e.time_s
+            elif e.kind is EventKind.NODE_RECHARGED and e.subject in pending:
+                out.append((e.subject, e.time_s - pending.pop(e.subject)))
+        return out
+
+    def rv_trail(self, rv_id: int) -> List[Tuple[float, int]]:
+        """The node-visit sequence of one RV: (time, node) per arrival."""
+        return [
+            (e.time_s, int(e.value))
+            for e in self.events
+            if e.kind is EventKind.RV_ARRIVED and e.subject == rv_id
+        ]
+
+    def summary_counts(self) -> Dict[str, int]:
+        """Event counts keyed by kind name (for quick inspection)."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind.value] = out.get(e.kind.value, 0) + 1
+        return out

@@ -1,0 +1,13 @@
+"""TSP toolkit: tour utilities, nearest-neighbour, 2-opt."""
+
+from .nearest_neighbor import nearest_neighbor_order
+from .tour import open_tour_length, tour_length, validate_tour
+from .two_opt import two_opt
+
+__all__ = [
+    "nearest_neighbor_order",
+    "open_tour_length",
+    "tour_length",
+    "two_opt",
+    "validate_tour",
+]

@@ -1,0 +1,54 @@
+"""Nearest-neighbour tour construction.
+
+The paper guides the recharging tour *inside* a cluster with "a
+canonical TSP algorithm, such as the nearest neighbor algorithm with
+time complexity O(nc^2)" (Section IV-C).  This module implements exactly
+that heuristic for open paths starting from the RV's entry point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..geometry.points import as_points, distances_from
+
+__all__ = ["nearest_neighbor_order"]
+
+
+def nearest_neighbor_order(
+    points: np.ndarray,
+    start: Optional[np.ndarray] = None,
+) -> List[int]:
+    """Visit order produced by the nearest-neighbour heuristic.
+
+    Args:
+        points: ``(n, 2)`` cities to visit.
+        start: optional external starting position (e.g. the RV's
+            current location).  When given, the first city is the one
+            nearest ``start``; otherwise city 0 starts the tour.
+
+    Returns:
+        A permutation of ``range(n)`` as a Python list.  Ties resolve to
+        the lowest index, keeping the heuristic deterministic.
+    """
+    points = as_points(points)
+    n = len(points)
+    if n == 0:
+        return []
+    remaining = np.ones(n, dtype=bool)
+    if start is not None:
+        d0 = distances_from(start, points)
+        current = int(np.argmin(d0))
+    else:
+        current = 0
+    order = [current]
+    remaining[current] = False
+    for _ in range(n - 1):
+        d = distances_from(points[current], points)
+        d[~remaining] = np.inf
+        current = int(np.argmin(d))
+        order.append(current)
+        remaining[current] = False
+    return order

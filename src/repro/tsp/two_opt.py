@@ -1,0 +1,62 @@
+"""2-opt local search for open tours.
+
+Not part of the paper's algorithms — provided as the ablation the
+DESIGN.md calls out (A3): how much RV distance a classical 2-opt
+post-pass recovers on top of the nearest-neighbour / insertion tours.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..geometry.points import as_points
+from .tour import open_tour_length
+
+__all__ = ["two_opt"]
+
+
+def two_opt(
+    points: np.ndarray,
+    order: Sequence[int],
+    max_rounds: int = 50,
+) -> List[int]:
+    """Improve an *open* tour with first-improvement 2-opt moves.
+
+    Endpoints stay fixed (the RV's entry point and final destination are
+    pinned by the scheduler); only the interior visiting order changes.
+    Terminates when a full sweep finds no improving move or after
+    ``max_rounds`` sweeps.
+
+    Returns:
+        The improved order (a new list; the input is not mutated).
+    """
+    points = as_points(points)
+    order = list(int(i) for i in order)
+    n = len(order)
+    if n < 4:
+        return order
+    if max_rounds < 1:
+        raise ValueError("max_rounds must be >= 1")
+
+    def seg(a: int, b: int) -> float:
+        d = points[a] - points[b]
+        return float(np.hypot(d[0], d[1]))
+
+    best_len = open_tour_length(points, order)
+    for _ in range(max_rounds):
+        improved = False
+        # Reverse order[i:j+1]; endpoints 0 and n-1 never move.
+        for i in range(1, n - 2):
+            for j in range(i + 1, n - 1):
+                a, b = order[i - 1], order[i]
+                c, d = order[j], order[j + 1]
+                delta = seg(a, c) + seg(b, d) - seg(a, b) - seg(c, d)
+                if delta < -1e-12:
+                    order[i : j + 1] = reversed(order[i : j + 1])
+                    best_len += delta
+                    improved = True
+        if not improved:
+            break
+    return order

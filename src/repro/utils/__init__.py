@@ -1,0 +1,15 @@
+"""Shared utilities: table rendering and run statistics."""
+
+from .profiling import Timer, profile_call
+from .stats import mean_std, summarize_runs, t_confidence_interval
+from .tables import format_series, format_table
+
+__all__ = [
+    "Timer",
+    "format_series",
+    "format_table",
+    "mean_std",
+    "profile_call",
+    "summarize_runs",
+    "t_confidence_interval",
+]

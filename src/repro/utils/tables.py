@@ -1,0 +1,73 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark scripts print the same rows/series the paper's figures
+plot; this module renders them as aligned ASCII tables so the output of
+``pytest benchmarks/`` reads like the evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["format_table", "format_series"]
+
+Cell = Union[str, float, int]
+
+
+def _fmt(cell: Cell, precision: int) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, int):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: column names.
+        rows: row cells; floats are formatted to ``precision`` digits.
+        precision: decimal places for float cells.
+        title: optional title line above the table.
+    """
+    str_rows: List[List[str]] = [[_fmt(c, precision) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(f"row {i} has {len(row)} cells, expected {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence[Cell],
+    series: dict,
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """Render one figure's line series as a table: x column + one column
+    per named series (exactly how the paper's ERP-sweep figures read)."""
+    headers = [x_name] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, precision=precision, title=title)

@@ -1,0 +1,214 @@
+"""SVG export: field maps and line charts with zero plotting deps.
+
+Produces small standalone ``.svg`` files — world snapshots render as
+scaled field maps (sensing disks, cluster coloring, RV markers) and
+trace/figure series as multi-line charts with axes and a legend.
+Everything is built from string templates; no third-party renderer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["field_svg", "series_svg", "write_svg"]
+
+#: A color cycle that stays readable on white.
+PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b")
+
+
+def _esc(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def field_svg(
+    snapshot: Dict[str, np.ndarray],
+    side_length: float,
+    size_px: int = 600,
+    sensing_range: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """Render a world snapshot as an SVG field map.
+
+    Sensors are dots (grey idle, colored by cluster when assigned, red
+    ring when depleted), targets are crosses, RVs are squares, the base
+    station is a black diamond.  With ``sensing_range`` given, active
+    sensors draw their sensing disk.
+    """
+    if size_px < 50:
+        raise ValueError("size_px too small to be readable")
+    pad = 30
+    scale = (size_px - 2 * pad) / side_length
+
+    def sx(x: float) -> float:
+        return pad + x * scale
+
+    def sy(y: float) -> float:
+        return size_px - pad - y * scale  # flip: y grows upward
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size_px}" height="{size_px}" '
+        f'viewBox="0 0 {size_px} {size_px}">',
+        f'<rect x="0" y="0" width="{size_px}" height="{size_px}" fill="white"/>',
+        f'<rect x="{pad}" y="{pad}" width="{size_px - 2 * pad}" height="{size_px - 2 * pad}" '
+        f'fill="#fafafa" stroke="#888"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{size_px / 2}" y="{pad - 10}" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="13">{_esc(title)}</text>'
+        )
+
+    sensors = np.asarray(snapshot["sensor_positions"])
+    alive = np.asarray(snapshot["alive"])
+    active = np.asarray(snapshot["active"])
+    membership = np.asarray(snapshot["cluster_membership"])
+
+    if sensing_range:
+        for x, y in sensors[active]:
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="{sensing_range * scale:.1f}" '
+                f'fill="#1f77b4" fill-opacity="0.08" stroke="#1f77b4" stroke-opacity="0.3"/>'
+            )
+
+    for i, (x, y) in enumerate(sensors):
+        cluster = int(membership[i])
+        if not alive[i]:
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" fill="none" '
+                f'stroke="#d62728" stroke-width="1.2"/>'
+            )
+        elif cluster >= 0:
+            color = PALETTE[cluster % len(PALETTE)]
+            r = 3.5 if active[i] else 2.5
+            parts.append(f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="{r}" fill="{color}"/>')
+        else:
+            parts.append(f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="1.6" fill="#bbb"/>')
+
+    for x, y in np.asarray(snapshot["target_positions"]).reshape(-1, 2):
+        cx, cy = sx(x), sy(y)
+        parts.append(
+            f'<path d="M {cx - 5} {cy} L {cx + 5} {cy} M {cx} {cy - 5} L {cx} {cy + 5}" '
+            f'stroke="black" stroke-width="1.6"/>'
+        )
+
+    for x, y in np.asarray(snapshot["rv_positions"]).reshape(-1, 2):
+        parts.append(
+            f'<rect x="{sx(x) - 4:.1f}" y="{sy(y) - 4:.1f}" width="8" height="8" '
+            f'fill="#ff7f0e" stroke="black" stroke-width="0.8"/>'
+        )
+
+    bx, by = sx(side_length / 2), sy(side_length / 2)
+    parts.append(
+        f'<path d="M {bx} {by - 6} L {bx + 6} {by} L {bx} {by + 6} L {bx - 6} {by} Z" '
+        f'fill="black"/>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def series_svg(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 640,
+    height: int = 360,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as an SVG line chart with axes.
+
+    Args:
+        series: name -> (x values, y values).
+        title: chart heading.
+        x_label / y_label: axis captions.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    pad_l, pad_r, pad_t, pad_b = 60, 20, 36, 46
+    plot_w, plot_h = width - pad_l - pad_r, height - pad_t - pad_b
+    if plot_w <= 0 or plot_h <= 0:
+        raise ValueError("chart dimensions too small")
+
+    xs_all = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys_all = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    x_lo, x_hi = float(xs_all.min()), float(xs_all.max())
+    y_lo, y_hi = float(ys_all.min()), float(ys_all.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    span = y_hi - y_lo
+    y_lo -= 0.05 * (span or 1.0)
+    y_hi += 0.05 * (span or 1.0)
+
+    def px(x: float) -> float:
+        return pad_l + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return pad_t + (y_hi - y) / (y_hi - y_lo) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" font-family="sans-serif">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<rect x="{pad_l}" y="{pad_t}" width="{plot_w}" height="{plot_h}" '
+        f'fill="none" stroke="#444"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" font-size="14">{_esc(title)}</text>'
+        )
+    # Gridlines + tick labels (5 ticks each axis).
+    for k in range(5):
+        fx = x_lo + k / 4 * (x_hi - x_lo)
+        fy = y_lo + k / 4 * (y_hi - y_lo)
+        gx, gy = px(fx), py(fy)
+        parts.append(
+            f'<line x1="{gx:.1f}" y1="{pad_t}" x2="{gx:.1f}" y2="{pad_t + plot_h}" '
+            f'stroke="#eee"/>'
+        )
+        parts.append(
+            f'<line x1="{pad_l}" y1="{gy:.1f}" x2="{pad_l + plot_w}" y2="{gy:.1f}" '
+            f'stroke="#eee"/>'
+        )
+        parts.append(
+            f'<text x="{gx:.1f}" y="{pad_t + plot_h + 16}" text-anchor="middle" '
+            f'font-size="10">{fx:.3g}</text>'
+        )
+        parts.append(
+            f'<text x="{pad_l - 6}" y="{gy + 3:.1f}" text-anchor="end" '
+            f'font-size="10">{fy:.3g}</text>'
+        )
+    if x_label:
+        parts.append(
+            f'<text x="{pad_l + plot_w / 2}" y="{height - 8}" text-anchor="middle" '
+            f'font-size="11">{_esc(x_label)}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text x="14" y="{pad_t + plot_h / 2}" text-anchor="middle" font-size="11" '
+            f'transform="rotate(-90 14 {pad_t + plot_h / 2})">{_esc(y_label)}</text>'
+        )
+
+    for k, (name, (xs, ys)) in enumerate(series.items()):
+        color = PALETTE[k % len(PALETTE)]
+        pts = " ".join(f"{px(float(x)):.1f},{py(float(y)):.1f}" for x, y in zip(xs, ys))
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" stroke-width="1.8"/>'
+        )
+        ly = pad_t + 14 + 14 * k
+        parts.append(
+            f'<line x1="{pad_l + plot_w - 110}" y1="{ly - 4}" x2="{pad_l + plot_w - 90}" '
+            f'y2="{ly - 4}" stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{pad_l + plot_w - 84}" y="{ly}" font-size="10">{_esc(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(path, svg: str) -> None:
+    """Write an SVG document to ``path``."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(svg)

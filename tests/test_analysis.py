@@ -1,0 +1,129 @@
+"""Tests for the closed-form estimators — including validation against
+actual simulation outcomes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.estimators import (
+    DeploymentModel,
+    coverage_probability,
+    expected_cluster_size,
+    fleet_size_lower_bound,
+    full_time_member_power_w,
+    request_rate_per_day,
+    rr_member_power_w,
+    threshold_crossing_interval_s,
+)
+from repro.core.clustering import balanced_clustering
+from repro.energy.consumption import PAPER_NODE_POWER
+from repro.geometry.field import Field
+from repro.sim.config import DAY_S, SimulationConfig
+from repro.sim.world import World
+
+
+class TestGeometryEstimators:
+    def test_coverage_probability_monotone(self):
+        p1 = coverage_probability(100, 100.0, 5.0)
+        p2 = coverage_probability(400, 100.0, 5.0)
+        assert 0 < p1 < p2 < 1
+
+    def test_paper_density(self):
+        # Table II: lambda = 500 * pi * 64 / 40000 ~= 2.5 sensors/target.
+        assert expected_cluster_size(500, 200.0, 8.0) == pytest.approx(2.513, abs=0.01)
+
+    def test_cluster_size_matches_simulation(self, rng):
+        field = Field(120.0)
+        sensors = field.deploy_uniform(300, rng)
+        sizes = []
+        for _ in range(30):
+            targets = field.random_points(5, rng)
+            cs = balanced_clustering(sensors, targets, 12.0)
+            sizes.extend(cs.sizes().tolist())
+        predicted = expected_cluster_size(300, 120.0, 12.0)
+        # Balancing steals members between overlapping targets, so the
+        # realized mean sits near (within ~25% of) the Poisson estimate.
+        assert np.mean(sizes) == pytest.approx(predicted, rel=0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coverage_probability(-1, 100.0, 5.0)
+        with pytest.raises(ValueError):
+            expected_cluster_size(10, 0.0, 5.0)
+
+
+class TestPowerEstimators:
+    def test_rr_power_decreases_with_cluster_size(self):
+        p2 = rr_member_power_w(PAPER_NODE_POWER, 2.0)
+        p8 = rr_member_power_w(PAPER_NODE_POWER, 8.0)
+        assert p8 < p2 < full_time_member_power_w(PAPER_NODE_POWER)
+
+    def test_crossing_interval(self):
+        # 1000 J usable above threshold at 10 mW -> 1e5 seconds.
+        t = threshold_crossing_interval_s(2000.0, 0.5, 0.01)
+        assert t == pytest.approx(1e5)
+
+    def test_zero_power_never_crosses(self):
+        assert threshold_crossing_interval_s(100.0, 0.5, 0.0) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rr_member_power_w(PAPER_NODE_POWER, 0.5)
+        with pytest.raises(ValueError):
+            threshold_crossing_interval_s(-1.0, 0.5, 1.0)
+
+
+class TestRequestRate:
+    def test_full_time_busier_than_round_robin(self):
+        kwargs = dict(
+            n_sensors=500,
+            n_targets=15,
+            side_length_m=200.0,
+            sensing_range_m=14.0,
+            capacity_j=2000.0,
+            threshold_fraction=0.5,
+            power=PAPER_NODE_POWER,
+        )
+        rr = request_rate_per_day(activation="round_robin", **kwargs)
+        ft = request_rate_per_day(activation="full_time", **kwargs)
+        assert ft > rr > 0
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            request_rate_per_day(
+                10, 1, 100.0, 5.0, 100.0, 0.5, PAPER_NODE_POWER, activation="mystery"
+            )
+
+    def test_predicts_simulated_request_rate(self):
+        """The estimator lands within a factor ~2 of the simulator."""
+        cfg = SimulationConfig.experiment(
+            sim_time_s=10 * DAY_S, scheduler="combined", erp=0.0, seed=2
+        )
+        model = DeploymentModel.from_config(cfg)
+        predicted = model.requests_per_day
+        summary = World(cfg).run()
+        measured = summary.n_requests / 10.0
+        assert predicted == pytest.approx(measured, rel=1.0)
+        assert 0.3 < predicted / measured < 3.0
+
+
+class TestFleetSizing:
+    def test_lower_bound_grows_with_load(self):
+        f1 = fleet_size_lower_bound(100, 1000.0, 5.0, 100.0, 1.0)
+        f2 = fleet_size_lower_bound(1000, 1000.0, 5.0, 100.0, 1.0)
+        assert f2 >= f1 >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fleet_size_lower_bound(-1, 1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            fleet_size_lower_bound(1, 1.0, 0.0, 1.0, 1.0)
+
+    def test_deployment_model_bundle(self):
+        cfg = SimulationConfig.experiment()
+        model = DeploymentModel.from_config(cfg)
+        assert model.cluster_size > 1
+        assert 0.9 < model.target_coverage_probability <= 1.0
+        assert model.member_power_w > 0
+        assert model.fleet_lower_bound(charge_power_w=5.0) >= 1

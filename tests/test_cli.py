@@ -1,0 +1,91 @@
+"""Tests for the command-line interface and serialization."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sim.config import SimulationConfig
+from repro.sim.serialization import config_from_dict, config_to_dict
+
+
+class TestSerialization:
+    def test_roundtrip_default(self):
+        cfg = SimulationConfig.small(scheduler="partition", erp=0.7, seed=3)
+        rebuilt = config_from_dict(config_to_dict(cfg))
+        assert rebuilt == cfg
+
+    def test_roundtrip_experiment(self):
+        cfg = SimulationConfig.experiment(erp=0.4)
+        rebuilt = config_from_dict(config_to_dict(cfg))
+        assert rebuilt == cfg
+
+    def test_json_compatible(self):
+        cfg = SimulationConfig.paper()
+        payload = json.dumps(config_to_dict(cfg))
+        assert config_from_dict(json.loads(payload)) == cfg
+
+    def test_partial_dict_uses_defaults(self):
+        cfg = config_from_dict({"n_sensors": 10, "scheduler": "greedy"})
+        assert cfg.n_sensors == 10
+        assert cfg.scheduler == "greedy"
+        assert cfg.n_targets == 15  # default
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(
+            ["run", "--preset", "small", "--scheduler", "greedy", "--erp", "0.5", "--days", "2"]
+        )
+        assert args.preset == "small"
+        assert args.erp == 0.5
+
+
+class TestCommands:
+    def test_run_json(self, capsys):
+        rc = main(["run", "--preset", "small", "--days", "0.2", "--json", "--seed", "1"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["sim_time_s"] == pytest.approx(0.2 * 86400)
+        assert payload["config"]["scheduler"]
+
+    def test_run_table(self, capsys):
+        rc = main(["run", "--preset", "small", "--days", "0.2", "--scheduler", "greedy"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "traveling_energy_j" in out
+        assert "greedy" in out
+
+    def test_run_with_config_file(self, tmp_path, capsys):
+        cfg = SimulationConfig.small(sim_time_s=0.2 * 86400, seed=5)
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps(config_to_dict(cfg)))
+        rc = main(["run", "--config", str(path)])
+        assert rc == 0
+
+    def test_estimate(self, capsys):
+        rc = main(["estimate", "--preset", "experiment"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cluster size" in out
+        assert "fleet lower bound" in out
+
+    def test_map_ascii(self, capsys):
+        rc = main(["map", "--preset", "small", "--at-hours", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "B" in out and "+" in out
+
+    def test_map_svg(self, tmp_path, capsys):
+        target = tmp_path / "field.svg"
+        rc = main(["map", "--preset", "small", "--at-hours", "1", "--svg", str(target)])
+        assert rc == 0
+        assert target.read_text().startswith("<svg")
+
+    def test_figure_unknown_id(self, capsys):
+        rc = main(["figure", "9z"])
+        assert rc == 2

@@ -1,0 +1,80 @@
+"""Unit tests for the from-scratch K-means."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmeans import kmeans, wcss
+
+
+class TestKMeans:
+    def test_two_obvious_blobs(self, rng):
+        a = rng.normal([0, 0], 0.1, size=(20, 2))
+        b = rng.normal([10, 10], 0.1, size=(20, 2))
+        pts = np.vstack([a, b])
+        res = kmeans(pts, 2, rng=rng)
+        assert res.converged
+        labels_a = set(res.labels[:20].tolist())
+        labels_b = set(res.labels[20:].tolist())
+        assert len(labels_a) == 1 and len(labels_b) == 1 and labels_a != labels_b
+
+    def test_k_equal_n(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        res = kmeans(pts, 3)
+        assert res.inertia == 0.0
+        assert sorted(res.labels.tolist()) == [0, 1, 2]
+
+    def test_k_greater_than_n_pads(self, rng):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        res = kmeans(pts, 5, rng=rng)
+        assert res.centroids.shape == (5, 2)
+        assert res.inertia == 0.0
+
+    def test_k_one_centroid_is_mean(self, rng):
+        pts = rng.uniform(0, 10, size=(30, 2))
+        res = kmeans(pts, 1, rng=rng)
+        assert np.allclose(res.centroids[0], pts.mean(axis=0))
+
+    def test_groups_partition_everything(self, rng):
+        pts = rng.uniform(0, 10, size=(40, 2))
+        res = kmeans(pts, 4, rng=rng)
+        all_idx = np.concatenate(res.groups())
+        assert sorted(all_idx.tolist()) == list(range(40))
+
+    def test_inertia_matches_wcss(self, rng):
+        pts = rng.uniform(0, 10, size=(30, 2))
+        res = kmeans(pts, 3, rng=rng)
+        assert res.inertia == pytest.approx(wcss(pts, res.centroids, res.labels))
+
+    def test_deterministic_default_rng(self, rng):
+        pts = rng.uniform(0, 10, size=(25, 2))
+        r1 = kmeans(pts, 3)
+        r2 = kmeans(pts, 3)
+        assert np.array_equal(r1.labels, r2.labels)
+
+    def test_more_clusters_never_worse(self, rng):
+        pts = rng.uniform(0, 10, size=(50, 2))
+        i2 = kmeans(pts, 2, rng=np.random.default_rng(0), n_init=8).inertia
+        i5 = kmeans(pts, 5, rng=np.random.default_rng(0), n_init=8).inertia
+        assert i5 <= i2 + 1e-9
+
+    def test_labels_are_nearest_centroid(self, rng):
+        pts = rng.uniform(0, 10, size=(40, 2))
+        res = kmeans(pts, 4, rng=rng)
+        d = np.linalg.norm(pts[:, None, :] - res.centroids[None, :, :], axis=2)
+        assert np.array_equal(res.labels, np.argmin(d, axis=1))
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 2)), 1)
+        pts = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            kmeans(pts, 0)
+        with pytest.raises(ValueError):
+            kmeans(pts, 1, max_iter=0)
+        with pytest.raises(ValueError):
+            kmeans(pts, 1, n_init=0)
+
+    def test_duplicate_points(self):
+        pts = np.zeros((10, 2))
+        res = kmeans(pts, 2)
+        assert res.inertia == 0.0

@@ -1,0 +1,142 @@
+"""Unit tests for Algorithm 1 (balanced clustering) and the baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import (
+    Cluster,
+    ClusterSet,
+    balanced_clustering,
+    nearest_target_clustering,
+)
+from repro.geometry.coverage import detection_matrix
+
+
+class TestCluster:
+    def test_members_sorted(self):
+        c = Cluster(0, np.array([5, 1, 3]))
+        assert c.members.tolist() == [1, 3, 5]
+        assert c.size == 3
+
+
+class TestClusterSet:
+    def test_membership_map(self):
+        cs = ClusterSet([Cluster(0, [0, 2]), Cluster(1, [1])], n_sensors=4)
+        assert cs.membership.tolist() == [0, 1, 0, -1]
+        assert cs.cluster_of(3) == -1
+        assert cs.clustered_mask().tolist() == [True, True, True, False]
+
+    def test_rejects_double_assignment(self):
+        with pytest.raises(ValueError):
+            ClusterSet([Cluster(0, [0, 1]), Cluster(1, [1])], n_sensors=3)
+
+    def test_sizes_and_spread(self):
+        cs = ClusterSet([Cluster(0, [0, 1, 2]), Cluster(1, [3])], n_sensors=4)
+        assert cs.sizes().tolist() == [3, 1]
+        assert cs.spread() == 2
+
+
+class TestBalancedClustering:
+    def test_simple_two_targets(self):
+        # Four sensors all within range of both targets: balance 2/2.
+        sensors = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        targets = np.array([[0.4, 0.5], [0.6, 0.5]])
+        cs = balanced_clustering(sensors, targets, sensing_range=5.0)
+        assert sorted(cs.sizes().tolist()) == [2, 2]
+
+    def test_each_sensor_at_most_one_cluster(self, rng):
+        sensors = rng.uniform(0, 100, size=(200, 2))
+        targets = rng.uniform(0, 100, size=(8, 2))
+        cs = balanced_clustering(sensors, targets, sensing_range=15.0)
+        counts = np.zeros(200, dtype=int)
+        for c in cs:
+            counts[c.members] += 1
+        assert counts.max() <= 1
+
+    def test_members_can_detect_their_target(self, rng):
+        sensors = rng.uniform(0, 100, size=(150, 2))
+        targets = rng.uniform(0, 100, size=(6, 2))
+        ds = 12.0
+        cs = balanced_clustering(sensors, targets, ds)
+        det = detection_matrix(sensors, targets, ds)
+        for c in cs:
+            for s in c.members:
+                assert det[s, c.cluster_id]
+
+    def test_every_covering_sensor_assigned(self, rng):
+        """Phase 2 assigns every sensor in the pool A."""
+        sensors = rng.uniform(0, 60, size=(120, 2))
+        targets = rng.uniform(0, 60, size=(5, 2))
+        ds = 10.0
+        cs = balanced_clustering(sensors, targets, ds)
+        det = detection_matrix(sensors, targets, ds)
+        covering = det.any(axis=1)
+        assert np.array_equal(cs.clustered_mask(), covering)
+
+    def test_balances_better_than_nearest(self, rng):
+        """Across random instances, Algorithm 1's spread never exceeds
+        the nearest-target baseline's."""
+        worse = 0
+        for seed in range(10):
+            r = np.random.default_rng(seed)
+            sensors = r.uniform(0, 80, size=(150, 2))
+            targets = r.uniform(20, 60, size=(4, 2))
+            bal = balanced_clustering(sensors, targets, 25.0).spread()
+            near = nearest_target_clustering(sensors, targets, 25.0).spread()
+            if bal > near:
+                worse += 1
+        assert worse == 0
+
+    def test_smallest_cluster_priority_invariant(self, rng):
+        """No sensor could move to a strictly smaller eligible cluster
+        by more than 1 — the greedy fill keeps clusters within one of
+        each other wherever eligibility allows."""
+        sensors = rng.uniform(0, 50, size=(100, 2))
+        targets = rng.uniform(10, 40, size=(4, 2))
+        ds = 20.0
+        cs = balanced_clustering(sensors, targets, ds)
+        det = detection_matrix(sensors, targets, ds)
+        sizes = cs.sizes()
+        for c in cs:
+            for s in c.members:
+                for t in np.flatnonzero(det[s]):
+                    # Moving s from its cluster to t can't improve balance
+                    # by 2 or more.
+                    assert sizes[c.cluster_id] <= sizes[t] + 1 or sizes[t] + 1 >= sizes.min()
+
+    def test_uncoverable_target_gets_empty_cluster(self):
+        sensors = np.array([[0.0, 0.0]])
+        targets = np.array([[0.5, 0.0], [99.0, 99.0]])
+        cs = balanced_clustering(sensors, targets, 2.0)
+        assert cs.sizes().tolist() == [1, 0]
+
+    def test_no_targets(self, rng):
+        sensors = rng.uniform(0, 10, size=(5, 2))
+        cs = balanced_clustering(sensors, np.empty((0, 2)), 2.0)
+        assert len(cs) == 0
+        assert not cs.clustered_mask().any()
+
+    def test_no_sensors(self):
+        cs = balanced_clustering(np.empty((0, 2)), np.array([[1.0, 1.0]]), 2.0)
+        assert cs.sizes().tolist() == [0]
+
+
+class TestNearestTargetClustering:
+    def test_assigns_to_nearest(self):
+        sensors = np.array([[0.0, 0.0], [10.0, 0.0]])
+        targets = np.array([[1.0, 0.0], [9.0, 0.0]])
+        cs = nearest_target_clustering(sensors, targets, 5.0)
+        assert cs.membership.tolist() == [0, 1]
+
+    def test_out_of_range_unassigned(self):
+        sensors = np.array([[0.0, 0.0]])
+        targets = np.array([[50.0, 0.0]])
+        cs = nearest_target_clustering(sensors, targets, 5.0)
+        assert cs.membership.tolist() == [-1]
+
+    def test_can_be_unbalanced(self):
+        # Three sensors near target 0, one near target 1.
+        sensors = np.array([[0, 0], [0.1, 0], [0, 0.1], [10, 10]], dtype=float)
+        targets = np.array([[0.0, 0.0], [10.0, 10.0]])
+        cs = nearest_target_clustering(sensors, targets, 1.0)
+        assert cs.sizes().tolist() == [3, 1]

@@ -1,0 +1,117 @@
+"""Tests for the extension schedulers (FCFS, nearest-first, 2-opt
+insertion, deadline-aware)."""
+
+import numpy as np
+import pytest
+
+from repro.core.extensions import (
+    DeadlineAwareScheduler,
+    FCFSScheduler,
+    NearestFirstScheduler,
+    TwoOptInsertionScheduler,
+)
+from repro.core.requests import RechargeNodeList, RechargeRequest
+from repro.core.scheduling import RVView
+from repro.sim.config import DAY_S, SimulationConfig
+from repro.sim.runner import make_scheduler, run_simulation
+
+
+def req(node_id, x, y, demand=30.0, cluster=-1, t=0.0):
+    return RechargeRequest(node_id, np.array([x, y]), demand, cluster, t)
+
+
+def view(rv_id=0, pos=(0.0, 0.0), budget=1e9, em=1.0):
+    return RVView(rv_id=rv_id, position=np.array(pos), budget_j=budget, em_j_per_m=em)
+
+
+class TestFCFS:
+    def test_serves_in_release_order(self, rng):
+        lst = RechargeNodeList(
+            [req(0, 50, 0, t=30.0), req(1, 5, 0, t=10.0), req(2, 25, 0, t=20.0)]
+        )
+        plans = FCFSScheduler().assign(lst, [view()], rng)
+        assert plans[0].node_ids == (1, 2, 0)
+
+    def test_budget_cuts_queue(self, rng):
+        lst = RechargeNodeList([req(0, 10, 0, demand=40, t=0.0), req(1, 20, 0, demand=40, t=1.0)])
+        plans = FCFSScheduler().assign(lst, [view(budget=55.0)], rng)
+        assert plans[0].node_ids == (0,)
+        assert 1 in lst
+
+    def test_second_rv_continues_queue(self, rng):
+        lst = RechargeNodeList([req(i, 10.0 * (i + 1), 0, demand=40, t=float(i)) for i in range(4)])
+        views = [view(0, budget=105.0), view(1, pos=(20.0, 0.0), budget=1e9)]
+        plans = FCFSScheduler().assign(lst, views, rng)
+        assert plans[0].node_ids == (0, 1)
+        assert plans[1].node_ids == (2, 3)
+
+
+class TestNearestFirst:
+    def test_visits_by_distance(self, rng):
+        lst = RechargeNodeList([req(0, 30, 0), req(1, 10, 0), req(2, 20, 0)])
+        plans = NearestFirstScheduler().assign(lst, [view()], rng)
+        assert plans[0].node_ids == (1, 2, 0)
+
+    def test_ignores_demand(self, rng):
+        # A huge-demand far node loses to a near trivial one.
+        lst = RechargeNodeList([req(0, 100, 0, demand=1e6), req(1, 1, 0, demand=1.0)])
+        plans = NearestFirstScheduler().assign(lst, [view()], rng)
+        assert plans[0].node_ids[0] == 1
+
+
+class TestTwoOptInsertion:
+    def test_never_longer_than_plain_insertion(self, rng):
+        reqs = [req(i, float(x), float(y), demand=500.0)
+                for i, (x, y) in enumerate(np.random.default_rng(5).uniform(0, 100, (10, 2)))]
+        plain = make_scheduler("insertion", 1)
+        fancy = TwoOptInsertionScheduler()
+        p1 = plain.assign(RechargeNodeList(reqs), [view()], rng)[0]
+        p2 = fancy.assign(RechargeNodeList(reqs), [view()], rng)[0]
+        assert set(p2.node_ids) == set(p1.node_ids)
+        assert p2.travel_m <= p1.travel_m + 1e-9
+
+    def test_short_routes_pass_through(self, rng):
+        lst = RechargeNodeList([req(0, 5, 0)])
+        plans = TwoOptInsertionScheduler().assign(lst, [view()], rng)
+        assert plans[0].node_ids == (0,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoOptInsertionScheduler(max_rounds=0)
+
+
+class TestDeadlineAware:
+    def test_urgent_requests_preempt(self, rng):
+        sched = DeadlineAwareScheduler(urgency_age_s=100.0)
+        sched.observe_time(200.0)
+        # Node 0: aged 200 s (urgent), tiny profit. Node 1: fresh, huge profit.
+        lst = RechargeNodeList(
+            [req(0, 90, 0, demand=10.0, t=0.0), req(1, 5, 0, demand=1000.0, t=190.0)]
+        )
+        plans = sched.assign(lst, [view()], rng)
+        assert plans[0].node_ids == (0,)  # only the urgent pool is planned
+        assert 1 in lst
+
+    def test_no_urgent_behaves_like_insertion(self, rng):
+        sched = DeadlineAwareScheduler(urgency_age_s=1e9)
+        sched.observe_time(0.0)
+        lst = RechargeNodeList([req(0, 5, 0, demand=100.0), req(1, 7, 0, demand=100.0)])
+        plans = sched.assign(lst, [view()], rng)
+        assert sorted(plans[0].node_ids) == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeadlineAwareScheduler(urgency_age_s=0.0)
+
+
+class TestExtensionsInSimulation:
+    @pytest.mark.parametrize("name", ["fcfs", "nearest", "insertion+2opt", "deadline"])
+    def test_full_run(self, name):
+        cfg = SimulationConfig.small(scheduler=name, sim_time_s=1 * DAY_S, seed=6)
+        s = run_simulation(cfg)
+        assert s.n_recharges > 0
+        assert 0.0 <= s.avg_coverage_ratio <= 1.0
+
+    def test_factory_knows_all_names(self):
+        for name in ("fcfs", "nearest", "insertion+2opt", "deadline"):
+            assert make_scheduler(name, 2).name == name

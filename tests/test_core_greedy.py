@@ -1,0 +1,84 @@
+"""Unit tests for the greedy baseline (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import GreedyScheduler, greedy_destination
+from repro.core.requests import RechargeNodeList, RechargeRequest
+from repro.core.scheduling import RVView
+
+
+def req(node_id, x, y, demand, cluster=-1):
+    return RechargeRequest(node_id, np.array([x, y]), demand, cluster)
+
+
+def view(rv_id=0, pos=(0.0, 0.0), budget=1e9, em=1.0):
+    return RVView(rv_id=rv_id, position=np.array(pos), budget_j=budget, em_j_per_m=em)
+
+
+class TestGreedyDestination:
+    def test_picks_max_profit(self):
+        demands = np.array([100.0, 90.0])
+        positions = np.array([[50.0, 0.0], [1.0, 0.0]])
+        # Profits with em=1: 50 vs 89 -> node 1.
+        assert greedy_destination(demands, positions, [0, 0], 1.0) == 1
+
+    def test_empty_returns_none(self):
+        assert greedy_destination(np.array([]), np.empty((0, 2)), [0, 0], 1.0) is None
+
+    def test_negative_profit_still_picked(self):
+        demands = np.array([1.0])
+        positions = np.array([[100.0, 0.0]])
+        assert greedy_destination(demands, positions, [0, 0], 5.6) == 0
+
+    def test_tie_lowest_index(self):
+        demands = np.array([10.0, 10.0])
+        positions = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert greedy_destination(demands, positions, [0, 0], 1.0) == 0
+
+
+class TestGreedyScheduler:
+    def test_chains_whole_list(self, rng):
+        lst = RechargeNodeList([req(i, i * 10.0, 0.0, 50.0) for i in range(5)])
+        plans = GreedyScheduler().assign(lst, [view()], rng)
+        assert len(lst) == 0
+        assert sorted(plans[0].node_ids) == [0, 1, 2, 3, 4]
+
+    def test_chain_follows_profit_order(self, rng):
+        # Equal demands: greedy becomes nearest-first from current position.
+        lst = RechargeNodeList([req(0, 30, 0, 10), req(1, 10, 0, 10), req(2, 20, 0, 10)])
+        plans = GreedyScheduler().assign(lst, [view()], rng)
+        assert plans[0].node_ids == (1, 2, 0)
+
+    def test_budget_stops_chain(self, rng):
+        lst = RechargeNodeList([req(0, 1, 0, 10), req(1, 2, 0, 10), req(2, 3, 0, 10)])
+        # Budget allows roughly one pick: travel 1 + demand 10.
+        plans = GreedyScheduler().assign(lst, [view(budget=12.0)], rng)
+        assert plans[0].node_ids == (0,)
+        assert len(lst) == 2
+
+    def test_multiple_rvs_split_work(self, rng):
+        lst = RechargeNodeList(
+            [req(0, 10, 0, 10), req(1, 11, 0, 10), req(2, 200, 0, 10), req(3, 201, 0, 10)]
+        )
+        views = [view(0, pos=(0.0, 0.0)), view(1, pos=(210.0, 0.0))]
+        plans = GreedyScheduler().assign(lst, views, rng)
+        assert sorted(plans[0].node_ids) == [0, 1]
+        assert sorted(plans[1].node_ids) == [2, 3]
+
+    def test_no_requests_no_plans(self, rng):
+        assert GreedyScheduler().assign(RechargeNodeList(), [view()], rng) == {}
+
+    def test_route_accounting(self, rng):
+        lst = RechargeNodeList([req(0, 3, 4, 20)])
+        plans = GreedyScheduler().assign(lst, [view(em=2.0)], rng)
+        p = plans[0]
+        assert p.travel_m == pytest.approx(5.0)
+        assert p.demand_j == pytest.approx(20.0)
+        assert p.profit_j == pytest.approx(20.0 - 10.0)
+
+    def test_exhausted_rv_unassigned(self, rng):
+        lst = RechargeNodeList([req(0, 1, 0, 100)])
+        plans = GreedyScheduler().assign(lst, [view(budget=0.5)], rng)
+        assert plans == {}
+        assert len(lst) == 1

@@ -1,0 +1,175 @@
+"""Unit tests for the MIP formulation and the exact Held-Karp solver."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.insertion import build_insertion_sequence
+from repro.core.mip import RechargeInstance, solve_exact_single_rv, verify_routes
+from repro.core.requests import RechargeRequest, aggregate_by_cluster
+
+
+def make_instance(rng, n=6, em=1.0, capacity=float("inf"), closed=False, demand_scale=30.0):
+    return RechargeInstance(
+        positions=rng.uniform(0, 50, size=(n, 2)),
+        demands=rng.uniform(0.5, 1.0, size=n) * demand_scale,
+        start=np.array([25.0, 25.0]),
+        em_j_per_m=em,
+        capacity_j=capacity,
+        closed=closed,
+    )
+
+
+class TestRechargeInstance:
+    def test_route_length_open_vs_closed(self):
+        inst = RechargeInstance(
+            positions=np.array([[10.0, 0.0]]),
+            demands=np.array([5.0]),
+            start=np.array([0.0, 0.0]),
+            closed=False,
+        )
+        assert inst.route_length([0]) == pytest.approx(10.0)
+        closed = RechargeInstance(
+            positions=inst.positions, demands=inst.demands, start=inst.start, closed=True
+        )
+        assert closed.route_length([0]) == pytest.approx(20.0)
+
+    def test_route_profit(self):
+        inst = RechargeInstance(
+            positions=np.array([[10.0, 0.0]]),
+            demands=np.array([25.0]),
+            start=np.array([0.0, 0.0]),
+            em_j_per_m=2.0,
+        )
+        assert inst.route_profit([0]) == pytest.approx(5.0)
+
+    def test_feasibility(self):
+        inst = RechargeInstance(
+            positions=np.array([[10.0, 0.0]]),
+            demands=np.array([25.0]),
+            start=np.array([0.0, 0.0]),
+            em_j_per_m=1.0,
+            capacity_j=30.0,
+        )
+        assert not inst.route_feasible([0])  # 25 + 10 > 30
+        assert inst.route_feasible([])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RechargeInstance(np.zeros((2, 2)), np.array([1.0]), np.zeros(2))
+        with pytest.raises(ValueError):
+            RechargeInstance(np.zeros((1, 2)), np.array([-1.0]), np.zeros(2))
+
+
+class TestExactSolver:
+    def test_empty_instance(self):
+        inst = RechargeInstance(np.empty((0, 2)), np.array([]), np.zeros(2))
+        sol = solve_exact_single_rv(inst)
+        assert sol.order == ()
+        assert sol.profit == 0.0
+
+    def test_skips_unprofitable(self):
+        inst = RechargeInstance(
+            positions=np.array([[100.0, 0.0]]),
+            demands=np.array([1.0]),
+            start=np.array([0.0, 0.0]),
+            em_j_per_m=5.6,
+        )
+        sol = solve_exact_single_rv(inst)
+        assert sol.order == ()
+
+    def test_matches_bruteforce(self):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            inst = make_instance(rng, n=6, capacity=120.0)
+            sol = solve_exact_single_rv(inst)
+            # Brute force over all subsets and permutations.
+            best = 0.0
+            for k in range(1, 7):
+                for subset in itertools.combinations(range(6), k):
+                    for perm in itertools.permutations(subset):
+                        if inst.route_feasible(perm):
+                            best = max(best, inst.route_profit(perm))
+            assert sol.profit == pytest.approx(best)
+
+    def test_closed_matches_bruteforce(self):
+        rng = np.random.default_rng(11)
+        inst = make_instance(rng, n=5, closed=True, demand_scale=60.0)
+        sol = solve_exact_single_rv(inst)
+        best = 0.0
+        for k in range(1, 6):
+            for subset in itertools.combinations(range(5), k):
+                for perm in itertools.permutations(subset):
+                    best = max(best, inst.route_profit(perm))
+        assert sol.profit == pytest.approx(best)
+
+    def test_all_nodes_mode(self):
+        rng = np.random.default_rng(2)
+        inst = make_instance(rng, n=5, demand_scale=0.0)
+        sol = solve_exact_single_rv(inst, allow_skip=False)
+        assert sorted(sol.order) == [0, 1, 2, 3, 4]
+        # With zero demands this is the min-length open TSP path.
+        best = min(
+            inst.route_length(perm) for perm in itertools.permutations(range(5))
+        )
+        assert -sol.profit / inst.em_j_per_m == pytest.approx(best)
+
+    def test_capacity_infeasible_all(self):
+        inst = RechargeInstance(
+            positions=np.array([[1.0, 0.0]]),
+            demands=np.array([100.0]),
+            start=np.array([0.0, 0.0]),
+            capacity_j=10.0,
+        )
+        sol = solve_exact_single_rv(inst)
+        assert sol.order == ()
+
+    def test_too_large_rejected(self):
+        inst = RechargeInstance(np.zeros((21, 2)), np.zeros(21), np.zeros(2))
+        with pytest.raises(ValueError):
+            solve_exact_single_rv(inst)
+
+    def test_insertion_heuristic_never_beats_exact(self):
+        """Sanity: the heuristic's profit is bounded by the optimum."""
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            inst = make_instance(rng, n=7, demand_scale=50.0)
+            reqs = [
+                RechargeRequest(i, inst.positions[i], float(inst.demands[i]))
+                for i in range(inst.n)
+            ]
+            stops = aggregate_by_cluster(reqs)
+            order = build_insertion_sequence(stops, inst.start, 1e9, inst.em_j_per_m)
+            heuristic = inst.route_profit(order) if order else 0.0
+            exact = solve_exact_single_rv(inst).profit
+            assert heuristic <= exact + 1e-9
+
+
+class TestVerifyRoutes:
+    def test_accepts_disjoint_simple_routes(self, rng):
+        inst = make_instance(rng, n=6)
+        total = verify_routes(inst, [[0, 1], [2, 3], []])
+        assert total == pytest.approx(
+            inst.route_profit([0, 1]) + inst.route_profit([2, 3])
+        )
+
+    def test_rejects_shared_node(self, rng):
+        inst = make_instance(rng, n=4)
+        with pytest.raises(ValueError, match="more than one RV"):
+            verify_routes(inst, [[0, 1], [1, 2]])
+
+    def test_rejects_revisit(self, rng):
+        inst = make_instance(rng, n=4)
+        with pytest.raises(ValueError, match="twice"):
+            verify_routes(inst, [[0, 0]])
+
+    def test_rejects_unknown_node(self, rng):
+        inst = make_instance(rng, n=3)
+        with pytest.raises(ValueError, match="unknown"):
+            verify_routes(inst, [[5]])
+
+    def test_rejects_capacity_violation(self, rng):
+        inst = make_instance(rng, n=4, capacity=1.0)
+        with pytest.raises(ValueError, match="capacity"):
+            verify_routes(inst, [[0]])

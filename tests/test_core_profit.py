@@ -1,0 +1,74 @@
+"""Unit tests for the recharge-profit objective (Eq. (2))."""
+
+import numpy as np
+import pytest
+
+from repro.core.profit import (
+    insertion_profit_delta,
+    node_profits,
+    route_profit,
+    route_travel_cost,
+    total_objective,
+)
+
+
+class TestNodeProfits:
+    def test_formula(self):
+        profits = node_profits(
+            demands=np.array([100.0, 50.0]),
+            positions=np.array([[10.0, 0.0], [0.0, 5.0]]),
+            rv_position=np.array([0.0, 0.0]),
+            em_j_per_m=2.0,
+        )
+        assert profits.tolist() == [100.0 - 20.0, 50.0 - 10.0]
+
+    def test_can_be_negative(self):
+        p = node_profits(np.array([1.0]), np.array([[100.0, 0.0]]), [0, 0], 5.6)
+        assert p[0] < 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            node_profits(np.array([1.0, 2.0]), np.array([[0.0, 0.0]]), [0, 0], 1.0)
+
+    def test_negative_em_rejected(self):
+        with pytest.raises(ValueError):
+            node_profits(np.array([1.0]), np.array([[0.0, 0.0]]), [0, 0], -1.0)
+
+
+class TestRouteProfit:
+    def test_open_route(self):
+        demands = np.array([10.0, 20.0])
+        positions = np.array([[1.0, 0.0], [2.0, 0.0]])
+        p = route_profit(demands, positions, [0, 1], start=[0.0, 0.0], em_j_per_m=1.0)
+        assert p == pytest.approx(30.0 - 2.0)
+
+    def test_empty_route(self):
+        assert route_profit(np.array([]), np.empty((0, 2)), [], [0, 0], 1.0) == 0.0
+
+    def test_travel_cost(self):
+        assert route_travel_cost(np.array([[0, 0], [3, 4]]), 2.0) == pytest.approx(10.0)
+
+    def test_total_objective_sums(self):
+        assert total_objective([1.0, 2.0, -0.5]) == pytest.approx(2.5)
+
+
+class TestInsertionDelta:
+    def test_on_path_insertion_free(self):
+        # Inserting a point that lies on the segment adds no detour.
+        route = np.array([[0.0, 0.0], [10.0, 0.0]])
+        d = insertion_profit_delta(route, 0, [5.0, 0.0], 7.0, em_j_per_m=1.0)
+        assert d == pytest.approx(7.0)
+
+    def test_detour_charged(self):
+        route = np.array([[0.0, 0.0], [10.0, 0.0]])
+        # Point at (5, 5): detour = 2*sqrt(50) - 10.
+        detour = 2 * np.hypot(5, 5) - 10
+        d = insertion_profit_delta(route, 0, [5.0, 5.0], 7.0, em_j_per_m=2.0)
+        assert d == pytest.approx(7.0 - 2.0 * detour)
+
+    def test_invalid_position(self):
+        route = np.array([[0.0, 0.0], [1.0, 0.0]])
+        with pytest.raises(ValueError):
+            insertion_profit_delta(route, 1, [0, 0], 1.0, 1.0)
+        with pytest.raises(ValueError):
+            insertion_profit_delta(route, -1, [0, 0], 1.0, 1.0)

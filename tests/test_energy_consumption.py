@@ -1,0 +1,98 @@
+"""Unit tests for repro.energy.consumption."""
+
+import pytest
+
+from repro.energy.consumption import (
+    CC2480_RADIO,
+    PAPER_NODE_POWER,
+    PIR_DETECTOR,
+    NodePowerModel,
+    RadioModel,
+    SensingModel,
+)
+
+
+class TestRadioModel:
+    def test_airtime(self):
+        r = RadioModel(bitrate_bps=250_000, overhead_bytes=18)
+        # (20 + 18) bytes * 8 bits / 250 kbps
+        assert r.airtime_s(20) == pytest.approx(38 * 8 / 250_000)
+
+    def test_tx_energy_is_current_times_voltage_times_airtime(self):
+        r = RadioModel()
+        assert r.tx_energy_j(20) == pytest.approx(27e-3 * 3.0 * r.airtime_s(20))
+
+    def test_rx_equals_tx_for_symmetric_radio(self):
+        r = RadioModel()
+        assert r.rx_energy_j(20) == pytest.approx(r.tx_energy_j(20))
+
+    def test_idle_power(self):
+        assert RadioModel().idle_power_w == pytest.approx(5e-6 * 3.0)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            RadioModel().airtime_s(-1)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            RadioModel(tx_current_a=0.0)
+        with pytest.raises(ValueError):
+            RadioModel(idle_current_a=-1e-6)
+        with pytest.raises(ValueError):
+            RadioModel(overhead_bytes=-1)
+
+
+class TestSensingModel:
+    def test_paper_pir_values(self):
+        # 10 mA at 3 V active; 170 uA idle.
+        assert PIR_DETECTOR.active_power_w == pytest.approx(0.030)
+        assert PIR_DETECTOR.idle_power_w == pytest.approx(510e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensingModel(active_current_a=0.0)
+        with pytest.raises(ValueError):
+            SensingModel(voltage_v=-3.0)
+
+
+class TestNodePowerModel:
+    def test_idle_power_combines_detector_and_radio(self):
+        m = PAPER_NODE_POWER
+        assert m.idle_power_w == pytest.approx(
+            PIR_DETECTOR.idle_power_w + CC2480_RADIO.idle_power_w
+        )
+
+    def test_active_extra_positive_and_sensing_dominated(self):
+        m = PAPER_NODE_POWER
+        extra = m.active_sensing_power_w
+        assert extra > 0
+        # At lambda = 15 pkt/min the sensing draw dominates the radio.
+        assert extra == pytest.approx(
+            PIR_DETECTOR.active_power_w - PIR_DETECTOR.idle_power_w, rel=0.01
+        )
+
+    def test_relay_power_linear_in_rate(self):
+        m = PAPER_NODE_POWER
+        assert m.relay_power_w(2.0) == pytest.approx(2 * m.relay_power_w(1.0))
+
+    def test_relay_power_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PAPER_NODE_POWER.relay_power_w(-0.5)
+
+    def test_relay_per_packet_is_rx_plus_tx(self):
+        m = PAPER_NODE_POWER
+        per_pkt = m.radio.rx_energy_j(m.payload_bytes) + m.radio.tx_energy_j(m.payload_bytes)
+        assert m.relay_power_w(1.0) == pytest.approx(per_pkt)
+
+    def test_notification_energy_is_one_tx(self):
+        m = PAPER_NODE_POWER
+        assert m.notification_energy_j() == pytest.approx(m.radio.tx_energy_j(m.payload_bytes))
+
+    def test_paper_packet_rate(self):
+        assert PAPER_NODE_POWER.packet_rate_hz == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodePowerModel(packet_rate_hz=-1.0)
+        with pytest.raises(ValueError):
+            NodePowerModel(payload_bytes=-3)

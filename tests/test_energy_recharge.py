@@ -1,0 +1,38 @@
+"""Unit tests for repro.energy.recharge."""
+
+import pytest
+
+from repro.energy.recharge import ChargeModel
+
+
+class TestChargeModel:
+    def test_charge_time_linear(self):
+        m = ChargeModel(power_w=2.0)
+        assert m.charge_time_s(10.0) == pytest.approx(5.0)
+        assert m.charge_time_s(0.0) == 0.0
+
+    def test_rv_cost_with_perfect_efficiency(self):
+        m = ChargeModel(power_w=1.0, efficiency=1.0)
+        assert m.rv_energy_cost_j(42.0) == 42.0
+
+    def test_rv_cost_with_losses(self):
+        m = ChargeModel(power_w=1.0, efficiency=0.5)
+        assert m.rv_energy_cost_j(10.0) == pytest.approx(20.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            ChargeModel().charge_time_s(-1.0)
+        with pytest.raises(ValueError):
+            ChargeModel().rv_energy_cost_j(-1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ChargeModel(power_w=0.0)
+        with pytest.raises(ValueError):
+            ChargeModel(efficiency=0.0)
+        with pytest.raises(ValueError):
+            ChargeModel(efficiency=1.5)
+
+    def test_default_refills_pack_in_two_hours(self):
+        m = ChargeModel()
+        assert m.charge_time_s(8100.0) == pytest.approx(7200.0)

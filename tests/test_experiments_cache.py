@@ -1,0 +1,90 @@
+"""Tests for the opt-in experiment results cache."""
+
+import json
+
+import pytest
+
+from repro.experiments.cache import (
+    cache_dir,
+    cached_run,
+    cached_run_seeds,
+    config_key,
+    summary_from_dict,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import run_simulation
+
+
+def quick_cfg(**kw):
+    base = dict(sim_time_s=0.2 * 86400, seed=5)
+    base.update(kw)
+    return SimulationConfig.small(**base)
+
+
+class TestCacheKey:
+    def test_stable(self):
+        assert config_key(quick_cfg()) == config_key(quick_cfg())
+
+    def test_sensitive_to_any_field(self):
+        assert config_key(quick_cfg()) != config_key(quick_cfg(seed=6))
+        assert config_key(quick_cfg()) != config_key(quick_cfg(erp=0.5))
+
+
+class TestSummaryRoundtrip:
+    def test_from_dict(self):
+        s = run_simulation(quick_cfg())
+        rebuilt = summary_from_dict(s.as_dict())
+        assert rebuilt == s
+        assert isinstance(rebuilt.n_recharges, int)
+
+
+class TestCachedRun:
+    def test_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert cache_dir() is None
+        s = cached_run(quick_cfg())
+        assert s.sim_time_s > 0
+
+    def test_hit_returns_identical(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        first = cached_run(quick_cfg())
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        second = cached_run(quick_cfg())
+        assert second == first
+
+    def test_hit_skips_execution(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        cfg = quick_cfg()
+        cached_run(cfg)
+        # Poison the cache entry: if the second call re-ran, it would
+        # not see the sentinel value.
+        path = next(tmp_path.glob("*.json"))
+        data = json.loads(path.read_text())
+        data["traveling_distance_m"] = 123456.0
+        path.write_text(json.dumps(data))
+        assert cached_run(cfg).traveling_distance_m == 123456.0
+
+    def test_seed_fanout_mixed_hits(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        cfg = quick_cfg()
+        first = cached_run_seeds(cfg, [1, 2])
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        # Seed 3 is a miss, 1 and 2 hit.
+        out = cached_run_seeds(cfg, [1, 2, 3])
+        assert len(out) == 3
+        assert len(list(tmp_path.glob("*.json"))) == 3
+        assert out[0] == first[0] and out[1] == first[1]
+
+    def test_run_cell_uses_cache(self, monkeypatch, tmp_path):
+        from repro.experiments.common import ExperimentScale, run_cell
+
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        scale = ExperimentScale("micro", days=0.2, seeds=(1,))
+        kwargs = dict(
+            n_sensors=30, n_targets=2, side_length_m=50.0,
+            battery_capacity_j=300.0, initial_charge_range=(0.5, 0.8),
+        )
+        a = run_cell(scale, **kwargs)
+        assert list(tmp_path.glob("*.json"))
+        b = run_cell(scale, **kwargs)
+        assert a == b

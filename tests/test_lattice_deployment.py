@@ -1,0 +1,55 @@
+"""Tests for the deterministic triangular-lattice deployment."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.coverage import covered_fraction_grid
+from repro.geometry.field import Field, hexagon_covering_bound
+
+
+class TestTriangularLattice:
+    def test_full_coverage(self):
+        f = Field(100.0)
+        pts = f.deploy_triangular_lattice(8.0)
+        assert covered_fraction_grid(pts, 100.0, 8.0, resolution=120) == 1.0
+
+    def test_points_inside_field(self):
+        f = Field(60.0)
+        pts = f.deploy_triangular_lattice(7.0)
+        assert f.contains(pts).all()
+
+    def test_count_near_hexagon_bound(self):
+        """The lattice uses close to the theoretical minimum — within
+        ~2x even with boundary padding."""
+        f = Field(200.0)
+        pts = f.deploy_triangular_lattice(8.0)
+        bound = hexagon_covering_bound(f.area, 8.0)
+        assert bound <= len(pts) <= 2 * bound
+
+    def test_fewer_sensors_with_larger_range(self):
+        f = Field(100.0)
+        n_small = len(f.deploy_triangular_lattice(5.0))
+        n_large = len(f.deploy_triangular_lattice(10.0))
+        assert n_large < n_small
+
+    def test_deterministic(self):
+        f = Field(50.0)
+        a = f.deploy_triangular_lattice(6.0)
+        b = f.deploy_triangular_lattice(6.0)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Field(50.0).deploy_triangular_lattice(0.0)
+
+    def test_beats_random_deployment_economy(self, rng):
+        """Section II-B's trade-off: to reach (near-)full coverage a
+        random deployment needs far more sensors than the lattice."""
+        f = Field(100.0)
+        lattice = f.deploy_triangular_lattice(8.0)
+        # A random deployment of the same size leaves holes.
+        random_pts = f.deploy_uniform(len(lattice), rng)
+        frac_lattice = covered_fraction_grid(lattice, 100.0, 8.0, resolution=100)
+        frac_random = covered_fraction_grid(random_pts, 100.0, 8.0, resolution=100)
+        assert frac_lattice == 1.0
+        assert frac_random < 1.0

@@ -1,0 +1,129 @@
+"""Tests for the exact fleet (multi-RV) solver."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.mip import (
+    RechargeInstance,
+    solve_exact_fleet,
+    solve_exact_single_rv,
+    verify_routes,
+)
+
+
+def make_instance(seed, n=6, em=1.0, capacity=float("inf"), demand_scale=40.0, spread=60.0):
+    rng = np.random.default_rng(seed)
+    return RechargeInstance(
+        positions=rng.uniform(0, spread, size=(n, 2)),
+        demands=rng.uniform(0.5, 1.0, size=n) * demand_scale,
+        start=np.array([spread / 2, spread / 2]),
+        em_j_per_m=em,
+        capacity_j=capacity,
+    )
+
+
+class TestFleetSolver:
+    def test_one_rv_matches_single_solver(self):
+        for seed in range(5):
+            inst = make_instance(seed, capacity=150.0)
+            single = solve_exact_single_rv(inst)
+            fleet = solve_exact_fleet(inst, 1)
+            assert fleet.profit == pytest.approx(single.profit)
+
+    def test_more_rvs_never_worse(self):
+        for seed in range(4):
+            inst = make_instance(seed, capacity=80.0)
+            p1 = solve_exact_fleet(inst, 1).profit
+            p2 = solve_exact_fleet(inst, 2).profit
+            p3 = solve_exact_fleet(inst, 3).profit
+            assert p1 <= p2 + 1e-9
+            assert p2 <= p3 + 1e-9
+
+    def test_capacity_forces_split(self):
+        """Two far-apart profitable nodes, capacity fits only one each:
+        two RVs must split them and beat one RV."""
+        inst = RechargeInstance(
+            positions=np.array([[0.0, 0.0], [100.0, 0.0]]),
+            demands=np.array([90.0, 90.0]),
+            start=np.array([50.0, 0.0]),
+            em_j_per_m=0.1,
+            capacity_j=100.0,
+        )
+        p1 = solve_exact_fleet(inst, 1).profit
+        p2 = solve_exact_fleet(inst, 2).profit
+        assert p2 > p1
+        sol = solve_exact_fleet(inst, 2)
+        served = sorted(n for r in sol.routes for n in r)
+        assert served == [0, 1]
+
+    def test_routes_are_disjoint_and_feasible(self):
+        for seed in range(5):
+            inst = make_instance(seed, n=7, capacity=120.0)
+            sol = solve_exact_fleet(inst, 3)
+            total = verify_routes(inst, [list(r) for r in sol.routes])
+            assert total == pytest.approx(sol.profit)
+
+    def test_matches_bruteforce_two_rvs(self):
+        """Exhaustive check on tiny instances: every 2-coloring of every
+        node subset, every per-route permutation."""
+        for seed in range(3):
+            inst = make_instance(seed, n=5, capacity=90.0, demand_scale=50.0)
+            best = 0.0
+            nodes = list(range(5))
+            for assignment in itertools.product((0, 1, 2), repeat=5):  # 2 = skip
+                r0 = [i for i in nodes if assignment[i] == 0]
+                r1 = [i for i in nodes if assignment[i] == 1]
+                best_pair = -np.inf
+                for p0 in itertools.permutations(r0):
+                    if not inst.route_feasible(p0):
+                        continue
+                    for p1 in itertools.permutations(r1):
+                        if not inst.route_feasible(p1):
+                            continue
+                        best_pair = max(
+                            best_pair, inst.route_profit(p0) + inst.route_profit(p1)
+                        )
+                if np.isfinite(best_pair):
+                    best = max(best, best_pair)
+            sol = solve_exact_fleet(inst, 2)
+            assert sol.profit == pytest.approx(best)
+
+    def test_empty_instance(self):
+        inst = RechargeInstance(np.empty((0, 2)), np.array([]), np.zeros(2))
+        sol = solve_exact_fleet(inst, 3)
+        assert sol.profit == 0.0
+        assert sol.routes == ((), (), ())
+
+    def test_validation(self):
+        inst = make_instance(0)
+        with pytest.raises(ValueError):
+            solve_exact_fleet(inst, 0)
+        big = RechargeInstance(np.zeros((15, 2)), np.zeros(15), np.zeros(2))
+        with pytest.raises(ValueError):
+            solve_exact_fleet(big, 2)
+
+    def test_schedulers_bounded_by_fleet_optimum(self, rng):
+        """Partition and Combined plans never beat the exact optimum."""
+        from repro.core.combined import CombinedScheduler
+        from repro.core.partition import PartitionScheduler
+        from repro.core.requests import RechargeNodeList, RechargeRequest
+        from repro.core.scheduling import RVView
+
+        inst = make_instance(11, n=8, em=1.0, capacity=150.0, demand_scale=50.0)
+        opt = solve_exact_fleet(inst, 2).profit
+        for scheduler in (CombinedScheduler(), PartitionScheduler(2)):
+            reqs = [
+                RechargeRequest(i, inst.positions[i], float(inst.demands[i]))
+                for i in range(inst.n)
+            ]
+            views = [
+                RVView(rv_id=k, position=inst.start, budget_j=inst.capacity_j, em_j_per_m=1.0)
+                for k in range(2)
+            ]
+            plans = scheduler.assign(RechargeNodeList(reqs), views, rng)
+            total = sum(
+                verify_routes(inst, [list(p.node_ids)]) for p in plans.values()
+            )
+            assert total <= opt + 1e-6

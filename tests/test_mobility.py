@@ -1,0 +1,120 @@
+"""Unit tests for repro.mobility (targets and vehicles)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.field import Field
+from repro.mobility.targets import TargetProcess
+from repro.mobility.vehicles import RechargingVehicle
+
+
+class TestTargetProcess:
+    def test_initial_positions_inside(self, rng):
+        f = Field(100.0)
+        tp = TargetProcess(f, 10, 3600.0, rng)
+        assert tp.positions.shape == (10, 2)
+        assert f.contains(tp.positions).all()
+
+    def test_relocate_changes_positions(self, rng):
+        f = Field(100.0)
+        tp = TargetProcess(f, 5, 3600.0, rng)
+        before = tp.positions.copy()
+        tp.relocate()
+        assert tp.epoch == 1
+        assert not np.allclose(before, tp.positions)
+
+    def test_next_relocation_grid(self, rng):
+        tp = TargetProcess(Field(10.0), 1, 100.0, rng)
+        assert tp.next_relocation_after(0.0) == 100.0
+        assert tp.next_relocation_after(99.9) == 100.0
+        assert tp.next_relocation_after(100.0) == 200.0
+
+    def test_zero_targets(self, rng):
+        tp = TargetProcess(Field(10.0), 0, 100.0, rng)
+        assert tp.positions.shape == (0, 2)
+        tp.relocate()
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            TargetProcess(Field(10.0), -1, 100.0, rng)
+        with pytest.raises(ValueError):
+            TargetProcess(Field(10.0), 1, 0.0, rng)
+
+
+class TestRechargingVehicle:
+    def make_rv(self, **kw):
+        args = dict(rv_id=0, depot=[0.0, 0.0], speed_mps=2.0,
+                    moving_cost_j_per_m=5.0, capacity_j=1000.0)
+        args.update(kw)
+        return RechargingVehicle(**args)
+
+    def test_starts_at_depot_full(self):
+        rv = self.make_rv()
+        assert rv.at_depot
+        assert rv.battery.level_j == 1000.0
+
+    def test_move_accounting(self):
+        rv = self.make_rv()
+        t = rv.move_to([3.0, 4.0])
+        assert t == pytest.approx(2.5)  # 5 m at 2 m/s
+        assert rv.stats.distance_m == pytest.approx(5.0)
+        assert rv.stats.moving_energy_j == pytest.approx(25.0)
+        assert rv.battery.level_j == pytest.approx(975.0)
+        assert not rv.at_depot
+
+    def test_travel_time_and_energy_estimates(self):
+        rv = self.make_rv()
+        assert rv.travel_time_to([3.0, 4.0]) == pytest.approx(2.5)
+        assert rv.travel_energy_to([3.0, 4.0]) == pytest.approx(25.0)
+
+    def test_deliver_debits_budget(self):
+        rv = self.make_rv()
+        rv.deliver(100.0)
+        assert rv.battery.level_j == pytest.approx(900.0)
+        assert rv.stats.delivered_energy_j == 100.0
+        assert rv.stats.nodes_recharged == 1
+
+    def test_deliver_with_efficiency(self):
+        rv = self.make_rv()
+        rv.deliver(100.0, efficiency=0.5)
+        assert rv.battery.level_j == pytest.approx(800.0)
+        assert rv.stats.delivered_energy_j == 100.0
+
+    def test_can_afford(self):
+        rv = self.make_rv()
+        assert rv.can_afford(100.0, 400.0)  # 500 + 400 <= 1000
+        assert not rv.can_afford(150.0, 400.0)  # 750 + 400 > 1000
+
+    def test_return_to_depot_refills(self):
+        rv = self.make_rv()
+        rv.move_to([10.0, 0.0])
+        rv.return_to_depot()
+        assert rv.at_depot
+        assert rv.battery.level_j == 1000.0
+        assert rv.stats.depot_visits == 1
+        assert rv.stats.distance_m == pytest.approx(20.0)
+
+    def test_sortie_lifecycle(self):
+        rv = self.make_rv()
+        rv.begin_sortie([3, 1, 2])
+        assert rv.busy
+        assert rv.itinerary == [3, 1, 2]
+        assert rv.stats.sorties == 1
+        rv.end_sortie()
+        assert not rv.busy
+        assert rv.itinerary == []
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            self.make_rv(speed_mps=0.0)
+        with pytest.raises(ValueError):
+            self.make_rv(capacity_j=-1.0)
+        with pytest.raises(ValueError):
+            self.make_rv(moving_cost_j_per_m=-1.0)
+
+    def test_deliver_validation(self):
+        rv = self.make_rv()
+        with pytest.raises(ValueError):
+            rv.deliver(-1.0)
+        with pytest.raises(ValueError):
+            rv.deliver(1.0, efficiency=0.0)

@@ -1,0 +1,108 @@
+"""Tests for the PRR / ETX link-quality model."""
+
+import numpy as np
+import pytest
+
+from repro.energy.consumption import RadioModel
+from repro.network.dijkstra import shortest_paths
+from repro.network.linkquality import apply_etx_metric, etx_weights, prr_from_distance
+from repro.network.routing import RoutingTree
+from repro.network.topology import Topology
+
+
+class TestPRR:
+    def test_perfect_inside_grey_start(self):
+        prr = prr_from_distance(np.array([0.0, 6.9]), 10.0, grey_start_fraction=0.7)
+        assert np.allclose(prr, 1.0)
+
+    def test_edge_value(self):
+        prr = prr_from_distance(np.array([10.0]), 10.0, edge_prr=0.5)
+        assert prr[0] == pytest.approx(0.5)
+
+    def test_linear_in_grey_region(self):
+        prr = prr_from_distance(np.array([8.5]), 10.0, grey_start_fraction=0.7, edge_prr=0.5)
+        assert prr[0] == pytest.approx(1.0 - 0.5 * 0.5)  # halfway through the grey zone
+
+    def test_zero_beyond_range(self):
+        prr = prr_from_distance(np.array([10.1]), 10.0)
+        assert prr[0] == 0.0
+
+    def test_monotone_nonincreasing(self):
+        d = np.linspace(0, 10, 50)
+        prr = prr_from_distance(d, 10.0)
+        assert np.all(np.diff(prr) <= 1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prr_from_distance(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            prr_from_distance(np.array([1.0]), 10.0, grey_start_fraction=1.5)
+        with pytest.raises(ValueError):
+            prr_from_distance(np.array([1.0]), 10.0, edge_prr=0.0)
+
+
+class TestETX:
+    def line_topology(self, spacing=9.0, n=4, rng_m=10.0):
+        pts = np.column_stack([np.arange(n) * spacing, np.zeros(n)])
+        return Topology(pts, comm_range=rng_m)
+
+    def test_short_links_etx_one(self):
+        topo = self.line_topology(spacing=2.0)
+        etx = etx_weights(topo)
+        assert np.allclose(etx, 1.0)
+
+    def test_edge_links_penalized(self):
+        topo = self.line_topology(spacing=9.9)
+        etx = etx_weights(topo)
+        # PRR near 0.5 -> ETX near 4.
+        assert np.all(etx > 3.0)
+
+    def test_apply_etx_keeps_structure(self):
+        topo = self.line_topology()
+        clone, etx = apply_etx_metric(topo)
+        assert np.array_equal(clone.indices, topo.indices)
+        assert np.allclose(clone.weights, topo.weights * etx)
+        # The original is untouched.
+        assert not np.allclose(clone.weights, topo.weights)
+
+    def test_etx_routing_avoids_weak_long_hop(self):
+        """Three nodes in a line: 0 --9.5m-- 1 --9.5m-- 2, plus a direct
+        0--2 link does not exist (19 m > range).  Now a Y topology where
+        a single 9.8 m hop competes with two 5.5 m hops: distance
+        routing prefers the single hop, ETX routing the two clean hops."""
+        pts = np.array([[0.0, 0.0], [9.8, 0.0], [4.9, 1.5]])
+        topo = Topology(pts, comm_range=10.0, base_station=[9.8, 0.1])
+        # Distance metric: node 0 goes straight to the base area via node 1
+        tree_dist = RoutingTree(topo)
+        clone, _ = apply_etx_metric(topo, grey_start_fraction=0.5, edge_prr=0.3)
+        dist_etx, parent_etx = shortest_paths(
+            clone.indptr, clone.indices, clone.weights, topo.base_index
+        )
+        # Under ETX the relayed route through node 2 must not be more
+        # expensive than the direct grey-zone hop.
+        direct = clone.weights[
+            clone.indptr[0] : clone.indptr[1]
+        ]  # arcs out of node 0
+        assert np.isfinite(dist_etx[0])
+        assert dist_etx[0] <= direct.max() + 1e-9
+
+    def test_disconnected_beyond_range_unchanged(self):
+        pts = np.array([[0.0, 0.0], [50.0, 0.0]])
+        topo = Topology(pts, comm_range=10.0)
+        clone, etx = apply_etx_metric(topo)
+        assert clone.n_edges == 0
+
+
+class TestDutyCycledRadio:
+    def test_duty_cycle_raises_idle_power(self):
+        quiet = RadioModel(listen_duty_cycle=0.0)
+        lpl = RadioModel(listen_duty_cycle=0.01)
+        assert lpl.idle_power_w > quiet.idle_power_w
+
+    def test_full_duty_is_rx_power(self):
+        r = RadioModel(listen_duty_cycle=1.0)
+        assert r.idle_power_w == pytest.approx(r.rx_current_a * r.voltage_v)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadioModel(listen_duty_cycle=1.5)

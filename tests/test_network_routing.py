@@ -1,0 +1,62 @@
+"""Unit tests for repro.network.routing."""
+
+import numpy as np
+import pytest
+
+from repro.network.routing import RoutingTree
+from repro.network.topology import Topology
+
+
+def make_tree(rng, n=50, side=40.0, rng_comm=10.0):
+    pts = rng.uniform(0, side, size=(n, 2))
+    topo = Topology(pts, comm_range=rng_comm, base_station=[side / 2, side / 2])
+    return RoutingTree(topo)
+
+
+class TestRoutingTree:
+    def test_requires_base(self):
+        topo = Topology(np.zeros((2, 2)), comm_range=1.0)
+        with pytest.raises(ValueError):
+            RoutingTree(topo)
+
+    def test_path_reaches_base(self, rng):
+        tree = make_tree(rng)
+        for v in np.flatnonzero(tree.connected_mask()):
+            path = tree.path_to_base(int(v))
+            assert path[0] == v
+            assert path[-1] == tree.base
+
+    def test_path_lengths_decrease_toward_base(self, rng):
+        tree = make_tree(rng)
+        for v in np.flatnonzero(tree.connected_mask()):
+            path = tree.path_to_base(int(v))
+            d = [tree.dist[u] for u in path]
+            assert all(d[i] > d[i + 1] for i in range(len(d) - 1))
+
+    def test_disconnected_raises(self):
+        pts = np.array([[0.0, 0.0], [100.0, 100.0]])
+        topo = Topology(pts, comm_range=2.0, base_station=[0.0, 1.0])
+        tree = RoutingTree(topo)
+        assert tree.connected_mask().tolist() == [True, False]
+        with pytest.raises(ValueError):
+            tree.path_to_base(1)
+        with pytest.raises(ValueError):
+            tree.next_hop(1)
+
+    def test_hop_counts(self):
+        pts = np.column_stack([np.arange(1, 4) * 1.0, np.zeros(3)])
+        topo = Topology(pts, comm_range=1.1, base_station=[0.0, 0.0])
+        tree = RoutingTree(topo)
+        assert tree.hop_counts().tolist() == [1, 2, 3]
+
+    def test_hop_counts_disconnected(self):
+        pts = np.array([[1.0, 0.0], [50.0, 0.0]])
+        topo = Topology(pts, comm_range=1.5, base_station=[0.0, 0.0])
+        tree = RoutingTree(topo)
+        assert tree.hop_counts().tolist() == [1, -1]
+
+    def test_next_hop_moves_closer(self, rng):
+        tree = make_tree(rng)
+        for v in np.flatnonzero(tree.connected_mask()):
+            hop = tree.next_hop(int(v))
+            assert tree.dist[hop] < tree.dist[v]

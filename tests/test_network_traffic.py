@@ -1,0 +1,73 @@
+"""Unit tests for repro.network.traffic."""
+
+import numpy as np
+import pytest
+
+from repro.network.routing import RoutingTree
+from repro.network.topology import Topology
+from repro.network.traffic import relay_rates, subtree_rates
+
+
+def chain_tree(n=4):
+    """Sensors in a line at x = 1..n, base at the origin."""
+    pts = np.column_stack([np.arange(1, n + 1) * 1.0, np.zeros(n)])
+    topo = Topology(pts, comm_range=1.1, base_station=[0.0, 0.0])
+    return RoutingTree(topo)
+
+
+class TestSubtreeRates:
+    def test_chain_accumulates(self):
+        tree = chain_tree(4)
+        rates = np.array([1.0, 1.0, 1.0, 1.0])
+        through = subtree_rates(tree, rates)
+        # Node 0 (nearest base) carries everything; base sees the total.
+        assert through[:4].tolist() == [4.0, 3.0, 2.0, 1.0]
+        assert through[4] == pytest.approx(4.0)
+
+    def test_disconnected_sources_dropped(self):
+        pts = np.array([[1.0, 0.0], [50.0, 0.0]])
+        topo = Topology(pts, comm_range=1.5, base_station=[0.0, 0.0])
+        tree = RoutingTree(topo)
+        through = subtree_rates(tree, np.array([1.0, 1.0]))
+        assert through[0] == 1.0
+        assert through[1] == 0.0
+        assert through[2] == 1.0
+
+    def test_shape_validation(self):
+        tree = chain_tree(3)
+        with pytest.raises(ValueError):
+            subtree_rates(tree, np.zeros(5))
+
+    def test_negative_rate_rejected(self):
+        tree = chain_tree(3)
+        with pytest.raises(ValueError):
+            subtree_rates(tree, np.array([-1.0, 0.0, 0.0]))
+
+
+class TestRelayRates:
+    def test_chain(self):
+        tree = chain_tree(4)
+        relay = relay_rates(tree, np.ones(4))
+        assert relay.tolist() == [3.0, 2.0, 1.0, 0.0]
+
+    def test_leaf_relays_nothing(self):
+        tree = chain_tree(5)
+        relay = relay_rates(tree, np.ones(5))
+        assert relay[-1] == 0.0
+
+    def test_conservation(self, rng):
+        """Total delivered to base = total originated by connected sensors."""
+        pts = rng.uniform(0, 40, size=(60, 2))
+        topo = Topology(pts, comm_range=12.0, base_station=[20.0, 20.0])
+        tree = RoutingTree(topo)
+        orig = rng.uniform(0, 2, size=60)
+        through = subtree_rates(tree, orig)
+        connected = tree.connected_mask()
+        assert through[tree.base] == pytest.approx(orig[connected].sum())
+
+    def test_nonnegative(self, rng):
+        pts = rng.uniform(0, 40, size=(50, 2))
+        topo = Topology(pts, comm_range=10.0, base_station=[20.0, 20.0])
+        tree = RoutingTree(topo)
+        relay = relay_rates(tree, rng.uniform(0, 1, size=50))
+        assert np.all(relay >= 0)

@@ -1,0 +1,100 @@
+"""Property-based tests for the extension modules (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.erc import AdaptiveEnergyRequestController
+from repro.network.linkquality import prr_from_distance
+from repro.sim.config import SimulationConfig
+from repro.sim.serialization import config_from_dict, config_to_dict
+from repro.utils.stats import mean_std, t_confidence_interval
+from repro.utils.tables import format_table
+
+
+@given(
+    st.floats(0.0, 1.0),
+    st.sampled_from(["greedy", "partition", "combined", "fcfs", "deadline"]),
+    st.sampled_from(["round_robin", "full_time"]),
+    st.sampled_from(["jump", "waypoint"]),
+    st.sampled_from(["distance", "etx"]),
+    st.booleans(),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_config_serialization_roundtrip(erp, sched, act, mob, metric, adaptive, seed):
+    cfg = SimulationConfig.small(
+        erp=erp,
+        scheduler=sched,
+        activation=act,
+        target_mobility=mob,
+        routing_metric=metric,
+        adaptive_erp=adaptive,
+        seed=seed,
+    )
+    assert config_from_dict(config_to_dict(cfg)) == cfg
+
+
+@given(
+    st.lists(st.floats(0.0, 30.0), min_size=1, max_size=30),
+    st.floats(5.0, 30.0),
+    st.floats(0.0, 1.0),
+    st.floats(0.01, 1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_prr_bounds_and_monotonicity(distances, rng_m, grey, edge):
+    d = np.sort(np.asarray(distances))
+    prr = prr_from_distance(d, rng_m, grey_start_fraction=grey, edge_prr=edge)
+    assert np.all(prr >= 0.0) and np.all(prr <= 1.0)
+    # Non-increasing with distance.
+    assert np.all(np.diff(prr) <= 1e-12)
+    # Inside range, PRR is at least the edge value.
+    inside = d <= rng_m
+    assert np.all(prr[inside] >= edge - 1e-12)
+
+
+@given(
+    st.floats(0.0, 1.0),
+    st.lists(st.booleans(), min_size=1, max_size=30),
+)
+@settings(max_examples=50, deadline=None)
+def test_adaptive_erp_stays_in_bounds(initial, death_pattern):
+    ctl = AdaptiveEnergyRequestController(
+        initial_erp=initial, adjust_period_s=10.0, step_up=0.1, backoff=0.5
+    )
+    t = 0.0
+    for died in death_pattern:
+        t += 10.0
+        if died:
+            ctl.observe_deaths(1)
+        ctl.maybe_adjust(t)
+        assert 0.0 <= ctl.erp <= 1.0
+    # History times strictly increase.
+    times = [h[0] for h in ctl.history]
+    assert times == sorted(times)
+
+
+@given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_confidence_interval_contains_mean(values):
+    m, s = mean_std(values)
+    lo, hi = t_confidence_interval(values)
+    assert lo - 1e-6 <= m <= hi + 1e-6
+    assert s >= 0.0
+
+
+@given(
+    st.lists(
+        st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=2, max_size=2),
+        min_size=0,
+        max_size=10,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_format_table_always_renders(rows):
+    out = format_table(["a", "b"], rows)
+    lines = out.splitlines()
+    # Header + separator + one line per row.
+    assert len(lines) == 2 + len(rows)
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # perfectly aligned

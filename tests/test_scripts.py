@@ -1,0 +1,76 @@
+"""Smoke tests for the repository scripts (figure rendering)."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+SCRIPTS = pathlib.Path(__file__).parent.parent / "scripts"
+
+
+def load_script(name):
+    spec = importlib.util.spec_from_file_location(name, SCRIPTS / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture
+def fake_results(tmp_path):
+    """A minimal results.json with the structure run_experiments emits."""
+    erps = [0.0, 0.5, 1.0]
+    metrics = [
+        "traveling_energy_j",
+        "avg_coverage_ratio",
+        "avg_nonfunctional_fraction",
+        "recharging_cost_m_per_sensor",
+        "delivered_energy_j",
+        "objective_j",
+        "traveling_distance_m",
+    ]
+    sweep = {
+        s: {m: [float(i + k) for i in range(3)] for m in metrics}
+        for k, s in enumerate(("greedy", "partition", "combined"))
+    }
+    payload = {
+        "fig5": {
+            "erp": erps,
+            "traveling_energy_mj": [3.0, 2.5, 2.0],
+            "missing_rate_pct": [0.0, 1.0, 4.0],
+        },
+        "sweep": sweep,
+        "fig4_mj": {
+            "No ERC - Full time": {"greedy": 3.0, "partition": 2.9, "combined": 3.1},
+            "No ERC - With RR": {"greedy": 2.5, "partition": 2.4, "combined": 2.6},
+            "With ERC - Full time": {"greedy": 2.7, "partition": 2.6, "combined": 2.8},
+            "With ERC - With RR": {"greedy": 2.2, "partition": 2.1, "combined": 2.3},
+        },
+    }
+    path = tmp_path / "results.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestRenderFigures:
+    def test_renders_all_svgs(self, fake_results):
+        mod = load_script("render_figures")
+        rc = mod.main(str(fake_results))
+        assert rc == 0
+        out = fake_results.parent / "svg"
+        names = {p.name for p in out.glob("*.svg")}
+        assert "fig5_tradeoff.svg" in names
+        assert "fig6a_traveling_energy.svg" in names
+        assert "fig7b_objective.svg" in names
+        assert "fig4_activity.svg" in names
+        # Every SVG parses as XML.
+        import xml.etree.ElementTree as ET
+
+        for p in out.glob("*.svg"):
+            ET.fromstring(p.read_text())
+
+    def test_missing_input_fails_cleanly(self, tmp_path, capsys):
+        mod = load_script("render_figures")
+        rc = mod.main(str(tmp_path / "nope.json"))
+        assert rc == 1

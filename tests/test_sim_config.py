@@ -1,0 +1,92 @@
+"""Unit tests for SimulationConfig (incl. the paper's Table II)."""
+
+import pytest
+
+from repro.sim.config import DAY_S, HOUR_S, SimulationConfig
+
+
+class TestTableII:
+    """The paper() configuration must match Table II exactly."""
+
+    def test_parameters(self):
+        cfg = SimulationConfig.paper()
+        assert cfg.n_sensors == 500
+        assert cfg.n_targets == 15
+        assert cfg.n_rvs == 3
+        assert cfg.side_length_m == 200.0
+        assert cfg.comm_range_m == 12.0
+        assert cfg.sensing_range_m == 8.0
+        assert cfg.sim_time_s == 120 * DAY_S
+        assert cfg.target_period_s == 3 * HOUR_S
+        assert cfg.threshold_fraction == 0.5
+        assert cfg.rv_moving_cost_j_per_m == 5.6
+        assert cfg.rv_speed_mps == 1.0
+
+    def test_packet_rate(self):
+        cfg = SimulationConfig.paper()
+        assert cfg.power_model.packet_rate_hz == pytest.approx(15 / 60)
+        assert cfg.power_model.payload_bytes == 20
+
+
+class TestValidation:
+    def test_bad_scheduler(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(scheduler="magic")
+
+    def test_bad_activation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(activation="sometimes")
+
+    def test_bad_clustering(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(clustering="voronoi")
+
+    def test_bad_erp(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(erp=1.5)
+
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_sensors=-1)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(threshold_fraction=2.0)
+
+    def test_bad_initial_range(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(initial_charge_range=(0.9, 0.5))
+
+    def test_bad_times(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(sim_time_s=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(dispatch_period_s=0.0)
+
+
+class TestVariants:
+    def test_with_overrides(self):
+        cfg = SimulationConfig.paper().with_overrides(erp=0.6, scheduler="greedy")
+        assert cfg.erp == 0.6
+        assert cfg.scheduler == "greedy"
+        assert cfg.n_sensors == 500  # untouched
+
+    def test_small_is_fast_scale(self):
+        cfg = SimulationConfig.small()
+        assert cfg.n_sensors < 200
+        assert cfg.sim_time_s <= 3 * DAY_S
+
+    def test_experiment_documented_deviations(self):
+        cfg = SimulationConfig.experiment()
+        assert cfg.sensing_range_m == 14.0
+        assert cfg.target_period_s == 48 * HOUR_S
+        assert cfg.n_sensors == 500  # Table II scale preserved
+
+    def test_experiment_accepts_overrides(self):
+        cfg = SimulationConfig.experiment(erp=0.8, scheduler="partition")
+        assert cfg.erp == 0.8
+
+    def test_frozen(self):
+        cfg = SimulationConfig()
+        with pytest.raises(Exception):
+            cfg.erp = 0.5  # type: ignore[misc]

@@ -1,0 +1,102 @@
+"""Unit tests for the metrics collector."""
+
+import pytest
+
+from repro.sim.metrics import MetricsCollector
+
+
+def finalize(collector, t_end=100.0, **kw):
+    args = dict(
+        rv_distance_m=0.0,
+        rv_moving_energy_j=0.0,
+        delivered_energy_j=0.0,
+        n_sorties=0,
+        events_fired=0,
+    )
+    args.update(kw)
+    return collector.finalize(t_end, **args)
+
+
+class TestTimeWeighting:
+    def test_constant_signal(self):
+        m = MetricsCollector()
+        m.start(0.0, coverage=0.8, nonfunctional=0.1, operational=90.0)
+        s = finalize(m, 100.0)
+        assert s.avg_coverage_ratio == pytest.approx(0.8)
+        assert s.avg_nonfunctional_fraction == pytest.approx(0.1)
+        assert s.avg_operational_sensors == pytest.approx(90.0)
+        assert s.missing_rate == pytest.approx(0.2)
+
+    def test_step_change_weighted(self):
+        m = MetricsCollector()
+        m.start(0.0, 1.0, 0.0, 100.0)
+        m.record(50.0, 0.0, 0.5, 50.0)
+        s = finalize(m, 100.0)
+        assert s.avg_coverage_ratio == pytest.approx(0.5)
+        assert s.avg_nonfunctional_fraction == pytest.approx(0.25)
+        assert s.avg_operational_sensors == pytest.approx(75.0)
+
+    def test_out_of_order_rejected(self):
+        m = MetricsCollector()
+        m.start(10.0, 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            m.record(5.0, 1.0, 0.0, 1.0)
+
+    def test_record_before_start_initializes(self):
+        m = MetricsCollector()
+        m.record(0.0, 0.5, 0.0, 10.0)
+        s = finalize(m, 10.0)
+        assert s.avg_coverage_ratio == pytest.approx(0.5)
+
+
+class TestRequestLatency:
+    def test_latency_tracked(self):
+        m = MetricsCollector()
+        m.start(0.0, 1.0, 0.0, 1.0)
+        m.note_request(7, 10.0)
+        m.note_recharge(7, 25.0)
+        s = finalize(m, 100.0)
+        assert s.n_requests == 1
+        assert s.n_recharges == 1
+        assert s.mean_request_latency_s == pytest.approx(15.0)
+
+    def test_unmatched_recharge_ignored_in_latency(self):
+        m = MetricsCollector()
+        m.start(0.0, 1.0, 0.0, 1.0)
+        m.note_recharge(3, 5.0)
+        s = finalize(m, 10.0)
+        assert s.n_recharges == 1
+        assert s.mean_request_latency_s == 0.0
+
+
+class TestSummary:
+    def test_objective_is_delivered_minus_travel(self):
+        m = MetricsCollector()
+        m.start(0.0, 1.0, 0.0, 1.0)
+        s = finalize(m, 10.0, rv_moving_energy_j=300.0, delivered_energy_j=1000.0)
+        assert s.objective_j == pytest.approx(700.0)
+        assert s.objective_mj == pytest.approx(700.0 / 1e6)
+
+    def test_recharging_cost(self):
+        m = MetricsCollector()
+        m.start(0.0, 1.0, 0.0, 200.0)
+        s = finalize(m, 10.0, rv_distance_m=5000.0)
+        assert s.recharging_cost_m_per_sensor == pytest.approx(25.0)
+
+    def test_recharging_cost_no_operational(self):
+        m = MetricsCollector()
+        m.start(0.0, 1.0, 1.0, 0.0)
+        s = finalize(m, 10.0, rv_distance_m=100.0)
+        assert s.recharging_cost_m_per_sensor == float("inf")
+
+    def test_as_dict_roundtrip(self):
+        m = MetricsCollector()
+        m.start(0.0, 1.0, 0.0, 5.0)
+        s = finalize(m, 10.0)
+        d = s.as_dict()
+        assert d["sim_time_s"] == 10.0
+        assert set(d) >= {
+            "traveling_energy_j",
+            "avg_coverage_ratio",
+            "recharging_cost_m_per_sensor",
+        }

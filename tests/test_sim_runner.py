@@ -1,0 +1,58 @@
+"""Unit tests for the run helpers."""
+
+import pytest
+
+from repro.core.combined import CombinedScheduler
+from repro.core.greedy import GreedyScheduler
+from repro.core.insertion import InsertionScheduler
+from repro.core.partition import PartitionScheduler
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import average_summaries, make_scheduler, run_seeds, run_simulation
+
+
+class TestMakeScheduler:
+    def test_all_names(self):
+        assert isinstance(make_scheduler("greedy", 3), GreedyScheduler)
+        assert isinstance(make_scheduler("insertion", 3), InsertionScheduler)
+        assert isinstance(make_scheduler("partition", 3), PartitionScheduler)
+        assert isinstance(make_scheduler("combined", 3), CombinedScheduler)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_scheduler("dijkstra", 3)
+
+    def test_partition_gets_fleet_size(self):
+        s = make_scheduler("partition", 5)
+        assert s.fleet_size == 5
+
+
+def _quick_cfg(**kw):
+    base = dict(
+        n_sensors=30, n_targets=2, n_rvs=1, side_length_m=50.0,
+        sim_time_s=6 * 3600.0, battery_capacity_j=300.0,
+        initial_charge_range=(0.5, 0.7), dispatch_period_s=1800.0,
+        tick_s=300.0,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+class TestRunHelpers:
+    def test_run_simulation(self):
+        s = run_simulation(_quick_cfg())
+        assert s.sim_time_s == 6 * 3600.0
+
+    def test_run_seeds_varies_seed_only(self):
+        res = run_seeds(_quick_cfg(), seeds=[1, 2, 3])
+        assert len(res) == 3
+
+    def test_average_summaries(self):
+        res = run_seeds(_quick_cfg(), seeds=[1, 2])
+        avg = average_summaries(res)
+        d1, d2 = res[0].as_dict(), res[1].as_dict()
+        for k, v in avg.items():
+            assert v == pytest.approx((d1[k] + d2[k]) / 2)
+
+    def test_average_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_summaries([])

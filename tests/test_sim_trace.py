@@ -1,0 +1,116 @@
+"""Tests for the structured trace recorder and its World integration."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import DAY_S, SimulationConfig
+from repro.sim.trace import EventKind, NullRecorder, TraceRecorder
+from repro.sim.world import World
+
+
+def traced_world(**overrides):
+    defaults = dict(
+        n_sensors=40,
+        n_targets=3,
+        n_rvs=1,
+        side_length_m=60.0,
+        sim_time_s=0.5 * DAY_S,
+        battery_capacity_j=400.0,
+        initial_charge_range=(0.5, 0.8),
+        dispatch_period_s=1800.0,
+        seed=42,
+    )
+    defaults.update(overrides)
+    trace = TraceRecorder()
+    world = World(SimulationConfig(**defaults), trace=trace)
+    return world, trace
+
+
+class TestTraceRecorder:
+    def test_emit_and_query(self):
+        t = TraceRecorder()
+        t.emit(1.0, EventKind.NODE_RECHARGED, 5, 100.0)
+        t.emit(2.0, EventKind.SENSOR_DEPLETED, 6)
+        assert t.count(EventKind.NODE_RECHARGED) == 1
+        assert t.of_kind(EventKind.SENSOR_DEPLETED)[0].subject == 6
+        assert list(t.between(0.5, 1.5))[0].kind is EventKind.NODE_RECHARGED
+
+    def test_series(self):
+        t = TraceRecorder()
+        t.sample_series(0.0, "x", 1.0)
+        t.sample_series(5.0, "x", 2.0)
+        times, values = t.series_arrays("x")
+        assert times.tolist() == [0.0, 5.0]
+        assert values.tolist() == [1.0, 2.0]
+        with pytest.raises(KeyError):
+            t.series_arrays("missing")
+
+    def test_request_latencies_matching(self):
+        t = TraceRecorder()
+        t.emit(0.0, EventKind.REQUEST_RELEASED, 1)
+        t.emit(10.0, EventKind.NODE_RECHARGED, 1, 50.0)
+        t.emit(12.0, EventKind.NODE_RECHARGED, 2, 50.0)  # never requested
+        lats = t.request_latencies()
+        assert lats == [(1, 10.0)]
+
+    def test_null_recorder_is_noop(self):
+        n = NullRecorder()
+        n.emit(0.0, EventKind.ROTATION)
+        n.sample_series(0.0, "x", 1.0)
+        assert not n.enabled
+
+
+class TestWorldTracing:
+    def test_recharge_events_match_metrics(self):
+        world, trace = traced_world()
+        summary = world.run()
+        assert trace.count(EventKind.NODE_RECHARGED) == summary.n_recharges
+        assert trace.count(EventKind.REQUEST_RELEASED) == summary.n_requests
+
+    def test_relocations_traced(self):
+        world, trace = traced_world()
+        world.run()
+        expected = int(world.cfg.sim_time_s // world.cfg.target_period_s)
+        assert trace.count(EventKind.TARGETS_RELOCATED) == expected
+
+    def test_events_time_ordered(self):
+        world, trace = traced_world()
+        world.run()
+        times = [e.time_s for e in trace.events]
+        assert times == sorted(times)
+
+    def test_series_sampled(self):
+        world, trace = traced_world()
+        world.run()
+        for name in ("coverage", "nonfunctional", "operational", "backlog"):
+            times, values = trace.series_arrays(name)
+            assert len(times) > 10
+            assert np.all(np.diff(times) >= 0)
+
+    def test_rv_trail_matches_recharges(self):
+        world, trace = traced_world()
+        world.run()
+        trail = trace.rv_trail(0)
+        recharged = trace.of_kind(EventKind.NODE_RECHARGED)
+        assert len(trail) == len(recharged)
+
+    def test_latencies_match_summary(self):
+        world, trace = traced_world()
+        summary = world.run()
+        lats = [l for _, l in trace.request_latencies()]
+        if lats:
+            assert np.mean(lats) == pytest.approx(summary.mean_request_latency_s, rel=1e-6)
+
+    def test_summary_counts(self):
+        world, trace = traced_world()
+        world.run()
+        counts = trace.summary_counts()
+        assert counts["node_recharged"] == trace.count(EventKind.NODE_RECHARGED)
+
+    def test_tracing_does_not_change_results(self):
+        """A traced run and an untraced run are bit-identical."""
+        world_t, _ = traced_world(seed=5)
+        s1 = world_t.run()
+        cfg = world_t.cfg
+        s2 = World(cfg).run()
+        assert s1.as_dict() == s2.as_dict()

@@ -1,0 +1,67 @@
+"""Tests for the run-statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import run_seeds
+from repro.utils.stats import mean_std, summarize_runs, t_confidence_interval
+
+
+class TestMeanStd:
+    def test_basic(self):
+        m, s = mean_std([1.0, 2.0, 3.0])
+        assert m == pytest.approx(2.0)
+        assert s == pytest.approx(1.0)
+
+    def test_single_value(self):
+        assert mean_std([5.0]) == (5.0, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_std([])
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        lo, hi = t_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert lo < 2.5 < hi
+
+    def test_single_value_degenerate(self):
+        assert t_confidence_interval([7.0]) == (7.0, 7.0)
+
+    def test_constant_values_degenerate(self):
+        assert t_confidence_interval([3.0, 3.0, 3.0]) == (3.0, 3.0)
+
+    def test_higher_confidence_wider(self):
+        data = [1.0, 2.0, 4.0, 8.0]
+        lo90, hi90 = t_confidence_interval(data, 0.90)
+        lo99, hi99 = t_confidence_interval(data, 0.99)
+        assert hi99 - lo99 > hi90 - lo90
+
+    def test_matches_known_t_value(self):
+        # n=4, 95%: t = 3.1824, sem = std/2.
+        data = [0.0, 1.0, 2.0, 3.0]
+        sem = np.std(data, ddof=1) / 2
+        lo, hi = t_confidence_interval(data, 0.95)
+        assert hi - lo == pytest.approx(2 * 3.1824 * sem, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            t_confidence_interval([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            t_confidence_interval([])
+
+
+class TestSummarizeRuns:
+    def test_over_real_summaries(self):
+        cfg = SimulationConfig.small(sim_time_s=0.2 * 86400)
+        stats = summarize_runs(run_seeds(cfg, [1, 2, 3]))
+        entry = stats["traveling_energy_j"]
+        assert entry["n"] == 3
+        assert entry["ci_low"] <= entry["mean"] <= entry["ci_high"]
+        assert entry["std"] >= 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])

@@ -1,0 +1,40 @@
+"""Unit tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["bb", 20]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.500" in out
+        assert "20" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_precision(self):
+        out = format_table(["x"], [[3.14159]], precision=1)
+        assert "3.1" in out and "3.14" not in out
+
+    def test_row_width_validation(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_columns_per_series(self):
+        out = format_series(
+            "erp", [0.0, 0.5], {"greedy": [1.0, 2.0], "partition": [3.0, 4.0]}
+        )
+        header = out.splitlines()[0]
+        assert "erp" in header and "greedy" in header and "partition" in header
+        assert "4.000" in out

@@ -1,0 +1,120 @@
+"""Tests for the random-waypoint target mobility extension."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.field import Field
+from repro.mobility.waypoint import RandomWaypointProcess
+from repro.sim.config import DAY_S, SimulationConfig
+from repro.sim.runner import run_simulation
+
+
+class TestRandomWaypoint:
+    def make(self, rng, m=5, period=3600.0, speed=1.0, side=100.0):
+        return RandomWaypointProcess(Field(side), m, period, rng, speed_mps=speed)
+
+    def test_positions_stay_inside(self, rng):
+        tp = self.make(rng)
+        for _ in range(20):
+            tp.relocate()
+            assert Field(100.0).contains(tp.positions).all()
+
+    def test_displacement_bounded_by_speed(self, rng):
+        tp = self.make(rng, speed=0.5, period=600.0)
+        before = tp.positions.copy()
+        tp.relocate()
+        moved = np.hypot(*(tp.positions - before).T)
+        assert np.all(moved <= 0.5 * 600.0 + 1e-6)
+
+    def test_short_period_moves_straight(self, rng):
+        """For a period too short to reach the waypoint, the step length
+        equals exactly speed * period."""
+        tp = self.make(rng, speed=0.1, period=10.0, side=1000.0)
+        before = tp.positions.copy()
+        tp.relocate()
+        moved = np.hypot(*(tp.positions - before).T)
+        assert np.allclose(moved, 1.0, atol=1e-6)
+
+    def test_long_period_crosses_waypoints(self, rng):
+        """A very long period forces waypoint renewals (the loop must
+        terminate and keep positions valid)."""
+        tp = self.make(rng, speed=5.0, period=50_000.0)
+        tp.relocate()
+        assert Field(100.0).contains(tp.positions).all()
+        assert tp.epoch == 1
+
+    def test_epoch_counts(self, rng):
+        tp = self.make(rng)
+        tp.relocate()
+        tp.relocate()
+        assert tp.epoch == 2
+
+    def test_next_relocation_grid(self, rng):
+        tp = self.make(rng, period=100.0)
+        assert tp.next_relocation_after(0.0) == 100.0
+        assert tp.next_relocation_after(150.0) == 200.0
+
+    def test_zero_targets(self, rng):
+        tp = self.make(rng, m=0)
+        tp.relocate()
+        assert tp.positions.shape == (0, 2)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            self.make(rng, m=-1)
+        with pytest.raises(ValueError):
+            self.make(rng, period=0.0)
+        with pytest.raises(ValueError):
+            self.make(rng, speed=-1.0)
+
+    def test_deterministic(self):
+        a = self.make(np.random.default_rng(5))
+        b = self.make(np.random.default_rng(5))
+        a.relocate()
+        b.relocate()
+        assert np.array_equal(a.positions, b.positions)
+
+
+class TestWaypointInWorld:
+    def test_simulation_runs(self):
+        cfg = SimulationConfig.small(
+            target_mobility="waypoint", target_speed_mps=0.3, sim_time_s=1 * DAY_S, seed=2
+        )
+        s = run_simulation(cfg)
+        assert s.n_recharges > 0
+        assert 0 <= s.avg_coverage_ratio <= 1
+
+    def test_mobility_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(target_mobility="teleport")
+        with pytest.raises(ValueError):
+            SimulationConfig(target_speed_mps=0.0)
+
+    def test_serialization_roundtrip(self):
+        from repro.sim.serialization import config_from_dict, config_to_dict
+
+        cfg = SimulationConfig.small(
+            target_mobility="waypoint",
+            target_speed_mps=0.7,
+            self_discharge_fraction_per_day=0.01,
+            rv_depot_dwell_s=120.0,
+            adaptive_erp=True,
+        )
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+
+class TestSelfDischarge:
+    def test_leak_drains_faster(self):
+        base = dict(sim_time_s=1 * DAY_S, n_rvs=0, seed=9)
+        no_leak = run_simulation(SimulationConfig.small(**base))
+        leak = run_simulation(
+            SimulationConfig.small(self_discharge_fraction_per_day=0.2, **base)
+        )
+        # Leaking batteries deplete sooner (or at least not later).
+        assert leak.avg_nonfunctional_fraction >= no_leak.avg_nonfunctional_fraction
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(self_discharge_fraction_per_day=1.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(self_discharge_fraction_per_day=-0.1)

@@ -1,0 +1,167 @@
+"""White-box tests of the simulation world's internal machinery."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import DAY_S, SimulationConfig
+from repro.sim.world import World
+
+
+def make_world(**overrides):
+    defaults = dict(
+        n_sensors=30,
+        n_targets=2,
+        n_rvs=1,
+        side_length_m=50.0,
+        sensing_range_m=12.0,
+        sim_time_s=1 * DAY_S,
+        battery_capacity_j=500.0,
+        initial_charge_range=(0.6, 0.9),
+        dispatch_period_s=1800.0,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return World(SimulationConfig(**defaults))
+
+
+class TestRates:
+    def test_dead_sensors_draw_nothing(self):
+        w = make_world()
+        w.bank.levels_j[:5] = 0.0
+        w._recompute_rates()
+        assert np.all(w._rates[:5] == 0.0)
+
+    def test_alive_idle_draw_at_least_idle_power(self):
+        w = make_world()
+        w._recompute_rates()
+        alive = w.bank.alive_mask()
+        assert np.all(w._rates[alive] >= w.power.idle_power_w - 1e-15)
+
+    def test_active_draw_exceeds_idle(self):
+        w = make_world()
+        w._recompute_rates()
+        active = w._active
+        idle_alive = w.bank.alive_mask() & ~active
+        if active.any() and idle_alive.any():
+            assert w._rates[active].min() > w._rates[idle_alive].max() * 0.99
+
+    def test_one_active_per_nonempty_cluster_round_robin(self):
+        w = make_world()
+        w._recompute_rates()
+        n_nonempty = sum(1 for c in w.cluster_set if c.size > 0)
+        assert w._active.sum() == n_nonempty
+
+    def test_relay_draw_present_near_base(self):
+        """The total network draw must exceed the pure idle+active sum
+        whenever someone relays (multi-hop network)."""
+        w = make_world(n_sensors=80, side_length_m=80.0, comm_range_m=15.0)
+        w._recompute_rates()
+        alive = w.bank.alive_mask()
+        base_draw = alive.sum() * w.power.idle_power_w + (
+            w._active.sum() * w.power.active_sensing_power_w
+        )
+        assert w._rates.sum() >= base_draw - 1e-12
+
+
+class TestAdvanceEnergy:
+    def test_no_time_no_drain(self):
+        w = make_world()
+        before = w.bank.levels_j.copy()
+        w._advance_energy()
+        assert np.array_equal(before, w.bank.levels_j)
+
+    def test_drain_matches_rates(self):
+        w = make_world()
+        before = w.bank.levels_j.copy()
+        rates = w._rates.copy()
+        w.sim.now = 1000.0
+        w._advance_energy()
+        expected = np.clip(before - rates * 1000.0, 0.0, w.cfg.battery_capacity_j)
+        assert np.allclose(w.bank.levels_j, expected)
+
+    def test_death_triggers_rate_refresh(self):
+        w = make_world()
+        victim = int(np.flatnonzero(w._active)[0])
+        w.bank.levels_j[victim] = w._rates[victim] * 10.0  # dies in 10 s
+        w.sim.now = 100.0
+        w._advance_energy()
+        assert w.bank.levels_j[victim] == 0.0
+        assert w._rates[victim] == 0.0
+        # Another cluster member should have picked up the duty.
+        cluster = w.cluster_set.cluster_of(victim)
+        actives = w.activator.active_sensor_per_cluster(w.bank.alive_mask())
+        if w.cluster_set[cluster].size > 1:
+            assert actives[cluster] != victim
+
+
+class TestRequestLifecycle:
+    def drain_below_threshold(self, w, nodes):
+        w.bank.levels_j[nodes] = w.bank.threshold_j * 0.9
+
+    def test_release_sets_flag_and_list(self):
+        w = make_world(erp=0.0)
+        self.drain_below_threshold(w, [0, 1])
+        released = w._check_requests()
+        assert released
+        assert w.requested[0] and w.requested[1]
+        assert 0 in w.requests and 1 in w.requests
+
+    def test_no_double_release(self):
+        w = make_world(erp=0.0)
+        self.drain_below_threshold(w, [0])
+        w._check_requests()
+        n_before = len(w.requests)
+        w._check_requests()
+        assert len(w.requests) == n_before
+
+    def test_charge_clears_flag(self):
+        w = make_world(erp=0.0)
+        self.drain_below_threshold(w, [3])
+        w._check_requests()
+        rv = w.rvs[0]
+        rv.begin_sortie([3])
+        w.requests.remove(3)
+        rv.itinerary = [3]
+        w._rv_arrive(rv)  # pops the node, starts charging
+        # Fire the charge-completion event.
+        w.sim.step()
+        assert not w.requested[3]
+        assert w.bank.levels_j[3] == w.cfg.battery_capacity_j
+
+
+class TestDispatchPolicy:
+    def test_rv_sent_home_when_broke(self):
+        w = make_world(erp=0.0, rv_capacity_j=1000.0)
+        rv = w.rvs[0]
+        rv.battery.level_j = 1.0  # cannot afford anything
+        rv.position = np.array([1.0, 1.0])  # away from depot
+        self.place_request(w)
+        w._dispatch()
+        assert w._returning[0]
+
+    def test_full_rv_at_depot_not_cycled(self):
+        w = make_world(erp=0.0)
+        self_requests = self.place_request(w, demand_scale=1e9)  # unaffordable
+        w._dispatch()
+        assert not w._returning[0]
+        assert not w.rvs[0].busy
+
+    @staticmethod
+    def place_request(w, demand_scale=1.0):
+        from repro.core.requests import RechargeRequest
+
+        w.requests.add(
+            RechargeRequest(0, w.sensor_pos[0], min(400.0 * demand_scale, 1e12), -1, 0.0)
+        )
+        w.requested[0] = True
+
+
+class TestCoverableNormalization:
+    def test_uncoverable_targets_ignored(self):
+        """Targets nobody could ever see don't count against coverage."""
+        w = make_world(n_sensors=4, n_targets=3, side_length_m=200.0, sensing_range_m=5.0,
+                       seed=2)
+        # Most targets on a 200 m field with 4 short-range sensors are
+        # uncoverable; coverage is normalized over the coverable ones.
+        w._record_metrics()
+        assert w.metrics._last_coverage in (0.0, 0.5, 1.0) or 0 <= w.metrics._last_coverage <= 1
