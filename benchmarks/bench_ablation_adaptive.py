@@ -7,7 +7,6 @@ the controller settled.
 """
 
 from repro.experiments import current_scale, run_cell
-from repro.sim.runner import run_seeds
 from repro.utils.tables import format_table
 
 from _shared import emit

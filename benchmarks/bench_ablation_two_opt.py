@@ -7,7 +7,6 @@ stop at insertion; large ones would indicate routing left on the table.
 
 import numpy as np
 
-from repro.core.greedy import greedy_destination
 from repro.core.insertion import build_insertion_sequence
 from repro.core.requests import RechargeRequest, aggregate_by_cluster
 from repro.geometry.points import distances_from

@@ -9,11 +9,9 @@ round over a static recharge node list of size n.
 import numpy as np
 import pytest
 
-from repro.core.combined import CombinedScheduler
-from repro.core.greedy import GreedyScheduler
-from repro.core.partition import PartitionScheduler
 from repro.core.requests import RechargeNodeList, RechargeRequest
 from repro.core.scheduling import RVView
+from repro.registry import SCHEDULERS as SCHEDULER_REGISTRY
 
 
 def make_instance(n, seed=0):
@@ -28,18 +26,14 @@ def make_instance(n, seed=0):
     return reqs, views
 
 
-SCHEDULERS = {
-    "greedy": lambda: GreedyScheduler(),
-    "partition": lambda: PartitionScheduler(3),
-    "combined": lambda: CombinedScheduler(),
-}
+SCHEDULERS = ("greedy", "partition", "combined")
 
 
 @pytest.mark.parametrize("n", [20, 60, 120])
 @pytest.mark.parametrize("name", list(SCHEDULERS))
 def bench_scheduler_round(benchmark, name, n):
     reqs, views = make_instance(n)
-    scheduler = SCHEDULERS[name]()
+    scheduler = SCHEDULER_REGISTRY.build(name, fleet_size=3)
     rng = np.random.default_rng(1)
 
     def round_():

@@ -18,7 +18,6 @@ from repro.core.greedy import greedy_destination
 from repro.core.insertion import build_insertion_sequence, expand_stops
 from repro.core.mip import RechargeInstance, solve_exact_single_rv
 from repro.core.requests import RechargeRequest, aggregate_by_cluster
-from repro.geometry.points import distances_from
 
 EM = 5.6  # J/m, Table II
 

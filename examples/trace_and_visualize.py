@@ -17,7 +17,7 @@ import pathlib
 
 from repro import SimulationConfig, World
 from repro.sim import DAY_S
-from repro.sim.trace import EventKind, TraceRecorder
+from repro.sim.trace import TraceRecorder
 from repro.viz import field_svg, render_field, render_series, series_svg, write_svg
 
 OUT_DIR = pathlib.Path(__file__).parent

@@ -10,7 +10,6 @@ Usage:  REPRO_SCALE=paper python scripts/run_experiments.py
 """
 
 import json
-import os
 import pathlib
 import sys
 import time
@@ -34,7 +33,6 @@ from repro.experiments import (
 from repro.experiments.ablation_clustering import format_ablation, run_ablation, static_balance
 from repro.experiments.fig7_profit import panel_a as fig7a
 from repro.experiments.fig7_profit import panel_b as fig7b
-from repro.experiments.headline import compute_headline
 
 
 def main() -> None:

@@ -33,6 +33,15 @@ from .core import (
     verify_routes,
 )
 from .geometry import Field, minimum_sensors_eq1
+from .registry import (
+    ACTIVATORS,
+    CLUSTERINGS,
+    ERC_POLICIES,
+    MOBILITY_MODELS,
+    SCHEDULERS,
+    ComponentSpec,
+    Registry,
+)
 from .sim import (
     DAY_S,
     HOUR_S,
@@ -47,8 +56,15 @@ from .sim import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ACTIVATORS",
+    "CLUSTERINGS",
+    "ComponentSpec",
     "CombinedScheduler",
     "DAY_S",
+    "ERC_POLICIES",
+    "MOBILITY_MODELS",
+    "Registry",
+    "SCHEDULERS",
     "EnergyRequestController",
     "Field",
     "FullTimeActivator",

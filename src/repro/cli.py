@@ -20,6 +20,7 @@ import sys
 from typing import List, Optional
 
 from .analysis.estimators import DeploymentModel
+from .registry import ACTIVATORS, SCHEDULERS
 from .sim.config import DAY_S, SimulationConfig
 from .sim.runner import run_simulation
 from .sim.serialization import config_from_dict, config_to_dict
@@ -38,9 +39,10 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--preset", choices=sorted(_PRESETS), default="small",
                    help="base configuration preset (default: small)")
     p.add_argument("--config", metavar="FILE", help="JSON config file (overrides --preset)")
-    p.add_argument("--scheduler", help="greedy | insertion | partition | combined | "
-                                       "fcfs | nearest | insertion+2opt | deadline")
-    p.add_argument("--activation", choices=("round_robin", "full_time"))
+    # Help text comes from the live registries, so plugin registrations
+    # (and future built-ins) show up without editing the CLI.
+    p.add_argument("--scheduler", help=" | ".join(SCHEDULERS.names()))
+    p.add_argument("--activation", choices=ACTIVATORS.names())
     p.add_argument("--erp", type=float, help="Energy Request Percentage in [0, 1]")
     p.add_argument("--days", type=float, help="simulated horizon in days")
     p.add_argument("--seed", type=int)

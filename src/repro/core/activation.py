@@ -29,6 +29,10 @@ __all__ = ["FullTimeActivator", "RoundRobinActivator"]
 class FullTimeActivator:
     """All alive cluster members monitor simultaneously."""
 
+    #: Full-time duty never rotates, so the simulation's tick skips the
+    #: hand-off bookkeeping and rate refresh entirely.
+    rotates = False
+
     def __init__(self, cluster_set: ClusterSet) -> None:
         self.cluster_set = cluster_set
 
@@ -67,6 +71,9 @@ class RoundRobinActivator:
     are reported so the simulator can charge notification-packet energy
     to the participants.
     """
+
+    #: The tick rotates the duty and refreshes draw rates every slot.
+    rotates = True
 
     def __init__(self, cluster_set: ClusterSet) -> None:
         self.cluster_set = cluster_set

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..geometry.points import distance, distances_from
+from ..geometry.points import distances_from
 from .requests import AggregatedRequest, RechargeNodeList, aggregate_by_cluster
 from .scheduling import PlannedRoute, RVView
 

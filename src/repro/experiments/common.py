@@ -19,8 +19,9 @@ import os
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from ..registry import SCHEDULERS as SCHEDULER_REGISTRY
 from ..sim.config import DAY_S, SimulationConfig
-from ..sim.runner import average_summaries, run_seeds
+from ..sim.runner import average_summaries
 
 __all__ = [
     "ERP_GRID",
@@ -110,6 +111,9 @@ def run_erp_sweep(
     """
     out: Dict[str, Dict[str, List[float]]] = {}
     for sched in schedulers:
+        # Fail fast (and with the registered names) before burning a
+        # whole sweep cell on a typo.
+        SCHEDULER_REGISTRY.check(sched)
         per_metric: Dict[str, List[float]] = {}
         for erp in erps:
             cell = run_cell(scale, scheduler=sched, erp=erp, **overrides)

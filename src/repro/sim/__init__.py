@@ -1,5 +1,12 @@
 """Discrete-event simulation of the WRSN world."""
 
+from .components import (
+    ClusterManager,
+    EnergyAccounting,
+    FleetController,
+    RequestGate,
+    SimulationState,
+)
 from .config import DAY_S, HOUR_S, SimulationConfig
 from .engine import EventHandle, Simulator
 from .metrics import MetricsCollector, SimulationSummary
@@ -8,13 +15,18 @@ from .trace import EventKind, NullRecorder, TraceEvent, TraceRecorder
 from .world import World
 
 __all__ = [
+    "ClusterManager",
     "DAY_S",
+    "EnergyAccounting",
     "EventHandle",
+    "FleetController",
     "HOUR_S",
     "EventKind",
     "MetricsCollector",
     "NullRecorder",
+    "RequestGate",
     "SimulationConfig",
+    "SimulationState",
     "TraceEvent",
     "TraceRecorder",
     "SimulationSummary",

@@ -1,0 +1,37 @@
+"""Pluggable simulation subsystems.
+
+The world (:class:`repro.sim.world.World`) is a thin composition root
+over four independently testable components sharing one typed
+:class:`~repro.sim.components.state.SimulationState`:
+
+* :class:`~repro.sim.components.energy.EnergyAccounting` — analytic
+  battery advance, draw-rate recomputation, consumption breakdown;
+* :class:`~repro.sim.components.clusters.ClusterManager` — target
+  relocation, re-clustering, activator wiring;
+* :class:`~repro.sim.components.gate.RequestGate` — ERC thresholding
+  and recharge-node-list maintenance;
+* :class:`~repro.sim.components.fleet.FleetController` — dispatch
+  rounds, RV sortie legs, depot returns.
+
+Components communicate in time through the shared event engine
+(``state.sim``) and are wired together with explicit constructor
+injection — no component reaches into another's internals.
+"""
+
+from .clusters import ClusterManager
+from .energy import EnergyAccounting
+from .fleet import FleetController
+from .gate import RequestGate
+from .state import PRIO_DISPATCH, PRIO_RELOCATE, PRIO_RV, PRIO_TICK, SimulationState
+
+__all__ = [
+    "ClusterManager",
+    "EnergyAccounting",
+    "FleetController",
+    "PRIO_DISPATCH",
+    "PRIO_RELOCATE",
+    "PRIO_RV",
+    "PRIO_TICK",
+    "RequestGate",
+    "SimulationState",
+]

@@ -1,0 +1,209 @@
+"""The recharging-vehicle fleet: dispatch rounds, sortie legs, returns.
+
+:class:`FleetController` executes the online side of the scheduling
+problem.  Each dispatch round snapshots the idle RVs as
+:class:`~repro.core.scheduling.RVView` slices, hands the backlog to the
+configured scheduler, and walks every assigned
+:class:`~repro.core.scheduling.PlannedRoute` leg by leg through the
+event engine: drive, park and charge to full, next stop, and back to
+the depot to refill the sortie budget when the scheduler leaves an RV
+unassigned while work remains.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ...core.scheduling import RVView, Scheduler
+from ...mobility.vehicles import RechargingVehicle
+from ..trace import EventKind
+from .energy import EnergyAccounting
+from .gate import RequestGate
+from .state import PRIO_RV, SimulationState
+
+__all__ = ["FleetController"]
+
+
+class FleetController:
+    """Owns the RVs and drives their sorties through the event engine.
+
+    Args:
+        state: the shared simulation state.
+        energy: the energy component (advanced before every state-
+            changing RV event so batteries are current).
+        gate: the request gate (backlog source; notified on recharges).
+        scheduler: the route planner assigning sorties to idle RVs.
+        on_change: optional callback fired after observable fleet state
+            changes (the world samples metrics through it).
+    """
+
+    def __init__(
+        self,
+        state: SimulationState,
+        energy: EnergyAccounting,
+        gate: RequestGate,
+        scheduler: Scheduler,
+        on_change: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.s = state
+        self.energy = energy
+        self.gate = gate
+        self.scheduler = scheduler
+        self.on_change = on_change or (lambda: None)
+        cfg = state.cfg
+        self.rvs: List[RechargingVehicle] = [
+            RechargingVehicle(
+                rv_id=i,
+                depot=state.field.base_station,
+                speed_mps=cfg.rv_speed_mps,
+                moving_cost_j_per_m=cfg.rv_moving_cost_j_per_m,
+                capacity_j=cfg.rv_capacity_j,
+            )
+            for i in range(cfg.n_rvs)
+        ]
+        self.returning = np.zeros(cfg.n_rvs, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def idle_views(self) -> List[RVView]:
+        """Scheduler-facing views of the RVs available for assignment."""
+        views = []
+        for rv in self.rvs:
+            if rv.busy or self.returning[rv.rv_id]:
+                continue
+            views.append(
+                RVView(
+                    rv_id=rv.rv_id,
+                    position=rv.position,
+                    budget_j=rv.battery.level_j,
+                    em_j_per_m=rv.moving_cost_j_per_m,
+                    charge_efficiency=self.s.cfg.charge_model.efficiency,
+                    depot=rv.depot,
+                )
+            )
+        return views
+
+    def dispatch(self) -> None:
+        """Hand pending requests to idle RVs via the scheduler."""
+        s = self.s
+        if len(s.requests) == 0:
+            return
+        views = self.idle_views()
+        if not views:
+            return
+        observe = getattr(self.scheduler, "observe_time", None)
+        if observe is not None:
+            observe(s.now)
+        plans = self.scheduler.assign(s.requests, views, s.rng)
+        for rv_id, plan in plans.items():
+            rv = self.rvs[rv_id]
+            rv.begin_sortie(list(plan.node_ids))
+            if s.trace.enabled:
+                s.trace.emit(s.now, EventKind.SORTIE_ASSIGNED, rv_id, float(len(plan)))
+            self._next_leg(rv)
+        # Idle RVs that got nothing while work exists go home to refill
+        # (an empty budget is the usual reason the scheduler skipped them).
+        if len(s.requests) > 0:
+            for view in self.idle_views():
+                rv = self.rvs[view.rv_id]
+                if rv.battery.level_j < rv.capacity_j - 1e-9 and not rv.at_depot:
+                    self.send_home(rv)
+
+    def _on_idle(self) -> None:
+        """An RV became available: optionally run an extra round."""
+        if self.s.cfg.dispatch_on_idle:
+            self.gate.check()
+            self.dispatch()
+
+    # ------------------------------------------------------------------
+    # depot returns
+    # ------------------------------------------------------------------
+
+    def send_home(self, rv: RechargingVehicle) -> None:
+        """Send an RV back to the depot to refill its sortie budget."""
+        self.returning[rv.rv_id] = True
+        tt = rv.travel_time_to(rv.depot)
+        self.s.sim.schedule_in(tt, lambda rv=rv: self._rv_home(rv), priority=PRIO_RV)
+
+    def _rv_home(self, rv: RechargingVehicle) -> None:
+        s = self.s
+        self.energy.advance()
+        rv.return_to_depot()
+        if s.trace.enabled:
+            s.trace.emit(s.now, EventKind.RV_RETURNED_HOME, rv.rv_id)
+        if s.cfg.rv_depot_dwell_s > 0:
+            # The RV stays docked (still "returning") while its own
+            # battery refills at the base station.
+            s.sim.schedule_in(
+                s.cfg.rv_depot_dwell_s,
+                lambda rv=rv: self._rv_ready(rv),
+                priority=PRIO_RV,
+            )
+        else:
+            self._rv_ready(rv)
+
+    def _rv_ready(self, rv: RechargingVehicle) -> None:
+        self.returning[rv.rv_id] = False
+        self._on_idle()
+        self.on_change()
+
+    # ------------------------------------------------------------------
+    # sortie execution
+    # ------------------------------------------------------------------
+
+    def _next_leg(self, rv: RechargingVehicle) -> None:
+        if not rv.itinerary:
+            rv.end_sortie()
+            self._on_idle()
+            return
+        node = rv.itinerary[0]
+        tt = rv.travel_time_to(self.s.sensor_pos[node])
+        self.s.sim.schedule_in(tt, lambda rv=rv: self._rv_arrive(rv), priority=PRIO_RV)
+
+    def _rv_arrive(self, rv: RechargingVehicle) -> None:
+        s = self.s
+        self.energy.advance()
+        node = rv.itinerary.pop(0)
+        rv.move_to(s.sensor_pos[node])
+        if s.trace.enabled:
+            s.trace.emit(s.now, EventKind.RV_ARRIVED, rv.rv_id, float(node))
+        demand = float(s.bank.demands_j[node])
+        charge_time = s.cfg.charge_model.charge_time_s(demand)
+        s.sim.schedule_in(
+            charge_time,
+            lambda rv=rv, node=node: self._rv_finish_charge(rv, node),
+            priority=PRIO_RV,
+        )
+
+    def _rv_finish_charge(self, rv: RechargingVehicle, node: int) -> None:
+        s = self.s
+        self.energy.advance()
+        was_depleted = bool(s.bank.levels_j[node] <= 0.0)
+        delivered = s.bank.charge_to_full([node])
+        if s.trace.enabled:
+            s.trace.emit(s.now, EventKind.NODE_RECHARGED, int(node), delivered)
+            if was_depleted:
+                s.trace.emit(s.now, EventKind.SENSOR_REVIVED, int(node))
+        rv.deliver(delivered, s.cfg.charge_model.efficiency)
+        self.gate.mark_recharged(node)
+        # A refilled node may have been depleted: rates and coverage change.
+        self.energy.recompute()
+        self.on_change()
+        self._next_leg(rv)
+
+    # ------------------------------------------------------------------
+    # books
+    # ------------------------------------------------------------------
+
+    def totals(self) -> Dict[str, float]:
+        """Fleet-wide cumulative statistics for the final summary."""
+        return {
+            "distance_m": sum(rv.stats.distance_m for rv in self.rvs),
+            "moving_energy_j": sum(rv.stats.moving_energy_j for rv in self.rvs),
+            "delivered_energy_j": sum(rv.stats.delivered_energy_j for rv in self.rvs),
+            "sorties": sum(rv.stats.sorties for rv in self.rvs),
+        }

@@ -1,0 +1,95 @@
+"""The Energy Request Control gate and the recharge backlog.
+
+:class:`RequestGate` owns the base station's view of demand: it runs
+the configured ERC policy over the below-threshold mask, releases
+requests onto the shared :class:`~repro.core.requests.RechargeNodeList`,
+keeps the per-sensor ``requested`` flags, and clears both when an RV
+refills a node.  Adaptive policies get their depletion feedback and
+periodic adjustment hook through here as well, so the rest of the
+system never touches the ERC object directly.
+"""
+
+from __future__ import annotations
+
+from ...core.erc import EnergyRequestController
+from ...core.requests import RechargeRequest
+from ...registry import ERC_POLICIES, erc_policy_name
+from ..trace import EventKind
+from .state import SimulationState
+
+__all__ = ["RequestGate"]
+
+
+class RequestGate:
+    """ERC thresholding + recharge-node-list maintenance.
+
+    Args:
+        state: the shared simulation state (the gate maintains
+            ``state.requests`` and ``state.requested``).
+        erc: an ERC policy instance; built from the registry
+            (``static`` or ``adaptive`` per the config) when omitted.
+    """
+
+    def __init__(
+        self, state: SimulationState, erc: EnergyRequestController = None
+    ) -> None:
+        self.s = state
+        if erc is None:
+            erc = ERC_POLICIES.build(
+                erc_policy_name(state.cfg.adaptive_erp), config=state.cfg
+            )
+        self.erc = erc
+
+    @property
+    def requests(self):
+        """The base station's pending-request list."""
+        return self.s.requests
+
+    @property
+    def requested(self):
+        """Boolean per sensor: request currently on the list."""
+        return self.s.requested
+
+    def check(self) -> bool:
+        """Run the ERC gate; returns True if anything was released."""
+        s = self.s
+        below = s.bank.below_threshold_mask()
+        to_release = self.erc.nodes_to_release(s.cluster_set, below, s.requested)
+        for node in to_release:
+            s.requests.add(
+                RechargeRequest(
+                    node_id=int(node),
+                    position=s.sensor_pos[node],
+                    demand_j=float(s.bank.demands_j[node]),
+                    cluster_id=s.cluster_set.cluster_of(int(node)),
+                    release_time_s=s.now,
+                )
+            )
+            s.requested[node] = True
+            s.metrics.note_request(int(node), s.now)
+            if s.trace.enabled:
+                s.trace.emit(
+                    s.now,
+                    EventKind.REQUEST_RELEASED,
+                    int(node),
+                    float(s.bank.demands_j[node]),
+                )
+        return bool(to_release)
+
+    def mark_recharged(self, node: int) -> None:
+        """Clear a node's request state after an RV refilled it."""
+        self.s.requested[node] = False
+        self.s.requests.remove(node)  # in case it was still listed
+        self.s.metrics.note_recharge(node, self.s.now)
+
+    def note_deaths(self, count: int) -> None:
+        """Forward sensor depletions to policies that adapt on them."""
+        observe = getattr(self.erc, "observe_deaths", None)
+        if observe is not None:
+            observe(count)
+
+    def maybe_adjust(self) -> None:
+        """Give adaptive policies their periodic tuning opportunity."""
+        adjust = getattr(self.erc, "maybe_adjust", None)
+        if adjust is not None:
+            adjust(self.s.now)

@@ -1,0 +1,158 @@
+"""The typed state shared by the simulation subsystems.
+
+:class:`SimulationState` owns everything that is *data* — positions,
+batteries, network structure, targets, clusters, metrics, the event
+engine and the RNG — while the behaviour lives in the four components
+(:class:`~repro.sim.components.energy.EnergyAccounting`,
+:class:`~repro.sim.components.clusters.ClusterManager`,
+:class:`~repro.sim.components.gate.RequestGate`,
+:class:`~repro.sim.components.fleet.FleetController`).  Components hold
+a reference to the one shared state and communicate in time through the
+event engine (``state.sim``), never by calling into each other's
+internals.
+
+:meth:`SimulationState.from_config` is the deterministic constructor:
+the RNG draw order (sensor deployment, initial charge levels, target
+placement) is part of the reproducibility contract — goldens pin it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ...core.clustering import ClusterSet
+from ...core.requests import RechargeNodeList
+from ...energy.battery import BatteryBank
+from ...energy.consumption import NodePowerModel
+from ...geometry.field import Field
+from ...network.linkquality import apply_etx_metric, prr_from_distance
+from ...network.routing import RoutingTree
+from ...network.topology import Topology
+from ...registry import MOBILITY_MODELS
+from ..config import SimulationConfig
+from ..engine import Simulator
+from ..metrics import MetricsCollector
+from ..trace import NullRecorder
+
+__all__ = [
+    "PRIO_DISPATCH",
+    "PRIO_RELOCATE",
+    "PRIO_RV",
+    "PRIO_TICK",
+    "SimulationState",
+]
+
+# Event priorities: energy/structure updates before scheduling.
+PRIO_RELOCATE = 0
+PRIO_TICK = 1
+PRIO_DISPATCH = 2
+PRIO_RV = 3
+
+
+@dataclass
+class SimulationState:
+    """Everything the subsystems read and write, in one typed bundle."""
+
+    cfg: SimulationConfig
+    rng: np.random.Generator
+    sim: Simulator
+    trace: object
+    field: Field
+    power: NodePowerModel
+    # -- sensors ----------------------------------------------------
+    sensor_pos: np.ndarray
+    bank: BatteryBank
+    # -- static network ---------------------------------------------
+    topology: Topology
+    routing: RoutingTree
+    uplink_etx: np.ndarray
+    traffic_order: np.ndarray
+    # -- targets & clusters (maintained by ClusterManager) ----------
+    targets: object
+    cluster_set: Optional[ClusterSet] = None
+    activator: Optional[object] = None
+    coverable: Optional[np.ndarray] = None
+    # -- accounting --------------------------------------------------
+    metrics: MetricsCollector = field(default_factory=MetricsCollector)
+    # -- request backlog (maintained by RequestGate) -----------------
+    requests: RechargeNodeList = field(default_factory=RechargeNodeList)
+    requested: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.requested is None:
+            self.requested = np.zeros(self.cfg.n_sensors, dtype=bool)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self.sim.now
+
+    @classmethod
+    def from_config(
+        cls, config: SimulationConfig, trace=None
+    ) -> "SimulationState":
+        """Deploy sensors, build the static network and the targets.
+
+        The RNG consumption order here (deployment, charge levels,
+        target placement) must never change: fixed-seed golden outputs
+        depend on it.
+        """
+        rng = np.random.default_rng(config.seed)
+        sim = Simulator()
+        fld = Field(config.side_length_m)
+
+        sensor_pos = fld.deploy_uniform(config.n_sensors, rng)
+        bank = BatteryBank(
+            config.n_sensors,
+            capacity_j=config.battery_capacity_j,
+            threshold_fraction=config.threshold_fraction,
+        )
+        lo, hi = config.initial_charge_range
+        bank.levels_j = (
+            rng.uniform(lo, hi, size=config.n_sensors) * config.battery_capacity_j
+        )
+
+        topology = Topology(
+            sensor_pos, config.comm_range_m, base_station=fld.base_station
+        )
+        n = config.n_sensors
+        if config.routing_metric == "etx":
+            etx_topology, _ = apply_etx_metric(topology)
+            routing = RoutingTree(etx_topology)
+            # Expected transmissions on each sensor's uplink: packets
+            # relayed over a grey-zone link cost ETX times the energy.
+            uplink_etx = np.ones(n, dtype=np.float64)
+            for v in range(n):
+                p = routing.parent[v]
+                if p >= 0:
+                    hop = float(np.hypot(*(topology.points[v] - topology.points[p])))
+                    prr = float(prr_from_distance(np.array([hop]), config.comm_range_m)[0])
+                    uplink_etx[v] = 1.0 / (prr * prr) if prr > 0 else 1.0
+        else:
+            routing = RoutingTree(topology)
+            uplink_etx = np.ones(n, dtype=np.float64)
+        # Farthest-first order for the linear relay-load pass, computed once.
+        traffic_order = np.argsort(routing.dist, kind="stable")[::-1]
+
+        targets = MOBILITY_MODELS.build(
+            config.target_mobility, field=fld, config=config, rng=rng
+        )
+
+        return cls(
+            cfg=config,
+            rng=rng,
+            sim=sim,
+            trace=trace if trace is not None else NullRecorder(),
+            field=fld,
+            power=config.power_model,
+            sensor_pos=sensor_pos,
+            bank=bank,
+            topology=topology,
+            routing=routing,
+            uplink_etx=uplink_etx,
+            traffic_order=traffic_order,
+            targets=targets,
+        )

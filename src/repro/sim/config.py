@@ -15,28 +15,31 @@ from typing import Tuple
 from ..energy.battery import DEFAULT_SENSOR_CAPACITY_J
 from ..energy.consumption import NodePowerModel
 from ..energy.recharge import ChargeModel
+from ..registry import ACTIVATORS, CLUSTERINGS, MOBILITY_MODELS, SCHEDULERS
 
 __all__ = ["SimulationConfig", "DAY_S", "HOUR_S"]
 
 HOUR_S = 3600.0
 DAY_S = 24 * HOUR_S
 
-#: Scheduler names accepted by :func:`repro.sim.runner.make_scheduler`.
-SCHEDULERS = (
-    "greedy",
-    "insertion",
-    "partition",
-    "combined",
-    # Extensions beyond the paper (see repro.core.extensions):
-    "fcfs",
-    "nearest",
-    "insertion+2opt",
-    "deadline",
-)
-ACTIVATIONS = ("round_robin", "full_time")
-CLUSTERINGS = ("balanced", "nearest_target")
-TARGET_MOBILITIES = ("jump", "waypoint")
 ROUTING_METRICS = ("distance", "etx")
+
+# Legacy name tuples (pre-registry API).  These are *live* views of the
+# registries, so plugin registrations show up and the values can never
+# drift from the single source of truth in :mod:`repro.registry`.
+_LEGACY_NAME_TUPLES = {
+    "SCHEDULERS": SCHEDULERS,
+    "ACTIVATIONS": ACTIVATORS,
+    "CLUSTERINGS": CLUSTERINGS,
+    "TARGET_MOBILITIES": MOBILITY_MODELS,
+}
+
+
+def __getattr__(name: str):
+    registry = _LEGACY_NAME_TUPLES.get(name)
+    if registry is not None:
+        return registry.names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -150,16 +153,13 @@ class SimulationConfig:
             raise ValueError("rv_depot_dwell_s must be non-negative")
         if not 0.0 <= self.self_discharge_fraction_per_day < 1.0:
             raise ValueError("self_discharge_fraction_per_day must lie in [0, 1)")
-        if self.scheduler not in SCHEDULERS:
-            raise ValueError(f"scheduler must be one of {SCHEDULERS}, got {self.scheduler!r}")
-        if self.activation not in ACTIVATIONS:
-            raise ValueError(f"activation must be one of {ACTIVATIONS}, got {self.activation!r}")
-        if self.clustering not in CLUSTERINGS:
-            raise ValueError(f"clustering must be one of {CLUSTERINGS}, got {self.clustering!r}")
-        if self.target_mobility not in TARGET_MOBILITIES:
-            raise ValueError(
-                f"target_mobility must be one of {TARGET_MOBILITIES}, got {self.target_mobility!r}"
-            )
+        # Name fields validate against the live registries, so the
+        # accepted values (and the error messages) always match what is
+        # actually registered — including plugins.
+        SCHEDULERS.check(self.scheduler)
+        ACTIVATORS.check(self.activation)
+        CLUSTERINGS.check(self.clustering)
+        MOBILITY_MODELS.check(self.target_mobility)
         if self.target_speed_mps <= 0:
             raise ValueError("target_speed_mps must be positive")
         if self.routing_metric not in ROUTING_METRICS:

@@ -15,17 +15,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.combined import CombinedScheduler
-from ..core.extensions import (
-    DeadlineAwareScheduler,
-    FCFSScheduler,
-    NearestFirstScheduler,
-    TwoOptInsertionScheduler,
-)
-from ..core.greedy import GreedyScheduler
-from ..core.insertion import InsertionScheduler
-from ..core.partition import PartitionScheduler
 from ..core.scheduling import Scheduler
+from ..registry import SCHEDULERS
 from .config import SimulationConfig
 from .metrics import SimulationSummary
 from .world import World
@@ -34,28 +25,17 @@ __all__ = ["make_scheduler", "run_simulation", "run_seeds", "average_summaries"]
 
 
 def make_scheduler(name: str, fleet_size: int) -> Scheduler:
-    """Instantiate a scheduler by its paper name.
+    """Instantiate the scheduler registered under ``name``.
+
+    Thin wrapper over :data:`repro.registry.SCHEDULERS` — anything
+    registered there (including third-party plugins) is constructible
+    here, and an unknown name raises a ``ValueError`` listing the names
+    currently registered.
 
     ``insertion`` is the single-RV Algorithm 3; with a fleet it behaves
     like the Combined-Scheme (see :mod:`repro.core.combined`).
     """
-    if name == "greedy":
-        return GreedyScheduler()
-    if name == "insertion":
-        return InsertionScheduler()
-    if name == "partition":
-        return PartitionScheduler(fleet_size)
-    if name == "combined":
-        return CombinedScheduler()
-    if name == "fcfs":
-        return FCFSScheduler()
-    if name == "nearest":
-        return NearestFirstScheduler()
-    if name == "insertion+2opt":
-        return TwoOptInsertionScheduler()
-    if name == "deadline":
-        return DeadlineAwareScheduler()
-    raise ValueError(f"unknown scheduler {name!r}")
+    return SCHEDULERS.build(name, fleet_size=fleet_size)
 
 
 def run_simulation(config: SimulationConfig) -> SimulationSummary:

@@ -1,64 +1,48 @@
-"""The WRSN simulation world.
+"""The WRSN simulation world: a thin composition root.
 
-Wires every substrate together and drives the paper's joint loop:
-
-* targets relocate on their period -> clusters are re-formed with the
-  balanced clustering algorithm over the currently alive sensors;
-* the activation scheme (round-robin or full-time) decides who burns
-  active-sensing power; relay load from multi-hop reporting is charged
-  along the routing tree;
-* battery state advances *analytically* between events (piecewise
-  constant power), so the engine only fires bookkeeping ticks, target
-  relocations and RV legs;
-* the Energy Request Control gate releases recharge requests per
-  cluster; the configured scheduler assigns sorties to idle RVs; RVs
-  drive, charge nodes to full, return to the depot to refill their own
-  budget when they cannot afford the next job.
-
-The world is deterministic given its config (a single RNG seed drives
-deployment, targets, and any scheduler randomness).
+The world wires four pluggable subsystems (:mod:`repro.sim.components`)
+over one shared :class:`SimulationState` and drives the paper's joint
+loop with three periodic events: **tick** (batteries advance, duty
+rotates, the ERC gate re-evaluates), **relocation** (targets move and
+clusters re-form) and the **dispatch round** (backlog to scheduler,
+fleet executes sorties).  Every pluggable piece is built by name
+through :mod:`repro.registry`, so new policies plug in without touching
+this module.  A single RNG seed makes a run fully deterministic.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-from ..core.activation import FullTimeActivator, RoundRobinActivator
-from ..core.clustering import Cluster, ClusterSet, balanced_clustering, nearest_target_clustering
-from ..core.erc import AdaptiveEnergyRequestController, EnergyRequestController
-from ..core.requests import RechargeNodeList, RechargeRequest
-from ..core.scheduling import RVView, Scheduler
-from ..geometry.field import Field
-from ..mobility.targets import TargetProcess
-from ..mobility.vehicles import RechargingVehicle
-from ..network.routing import RoutingTree
-from ..network.topology import Topology
+from ..core.scheduling import Scheduler
+from ..registry import SCHEDULERS
+from .components import (
+    PRIO_DISPATCH,
+    PRIO_RELOCATE,
+    PRIO_TICK,
+    ClusterManager,
+    EnergyAccounting,
+    FleetController,
+    RequestGate,
+    SimulationState,
+)
 from .config import SimulationConfig
-from .engine import Simulator
-from .metrics import MetricsCollector, SimulationSummary
-from .trace import EventKind, NullRecorder
+from .metrics import SimulationSummary
 
 __all__ = ["World"]
-
-# Event priorities: energy/structure updates before scheduling.
-_PRIO_RELOCATE = 0
-_PRIO_TICK = 1
-_PRIO_DISPATCH = 2
-_PRIO_RV = 3
 
 
 class World:
     """One fully wired simulation instance.
 
-    Args:
-        config: the run parameters.
-        scheduler: a scheduler instance; when omitted the world builds
-            the one named by ``config.scheduler`` via
-            :func:`repro.sim.runner.make_scheduler`.
-        trace: optional :class:`~repro.sim.trace.TraceRecorder`; when
-            given, every semantic event and metric sample is recorded.
+    ``scheduler`` defaults to the one named by ``config.scheduler``
+    (built from :data:`repro.registry.SCHEDULERS`); a ``trace``
+    recorder, when given, captures every semantic event and sample.
+    The wired components are exposed as ``world.energy``,
+    ``world.clusters``, ``world.gate`` and ``world.fleet``; the shared
+    state as ``world.state``.
     """
 
     def __init__(
@@ -68,487 +52,155 @@ class World:
         trace=None,
     ) -> None:
         self.cfg = config
-        self.trace = trace if trace is not None else NullRecorder()
-        self.rng = np.random.default_rng(config.seed)
-        self.sim = Simulator()
-        self.field = Field(config.side_length_m)
-
-        # --- sensors ---
-        self.sensor_pos = self.field.deploy_uniform(config.n_sensors, self.rng)
-        from ..energy.battery import BatteryBank  # local import avoids cycle at module load
-
-        self.bank = BatteryBank(
-            config.n_sensors,
-            capacity_j=config.battery_capacity_j,
-            threshold_fraction=config.threshold_fraction,
-        )
-        lo, hi = config.initial_charge_range
-        self.bank.levels_j = (
-            self.rng.uniform(lo, hi, size=config.n_sensors) * config.battery_capacity_j
-        )
-        self.power = config.power_model
-        self._per_packet_relay_j = self.power.relay_power_w(1.0)
-        self._notification_j = self.power.notification_energy_j()
-
-        # --- static network (positions never move) ---
-        self.topology = Topology(
-            self.sensor_pos, config.comm_range_m, base_station=self.field.base_station
-        )
-        if config.routing_metric == "etx":
-            from ..network.linkquality import apply_etx_metric, prr_from_distance
-
-            etx_topology, _ = apply_etx_metric(self.topology)
-            self.routing = RoutingTree(etx_topology)
-            # Expected transmissions on each sensor's uplink: packets
-            # relayed over a grey-zone link cost ETX times the energy.
-            n = config.n_sensors
-            self._uplink_etx = np.ones(n, dtype=np.float64)
-            for v in range(n):
-                p = self.routing.parent[v]
-                if p >= 0:
-                    hop = float(np.hypot(*(self.topology.points[v] - self.topology.points[p])))
-                    prr = float(prr_from_distance(np.array([hop]), config.comm_range_m)[0])
-                    self._uplink_etx[v] = 1.0 / (prr * prr) if prr > 0 else 1.0
-        else:
-            self.routing = RoutingTree(self.topology)
-            self._uplink_etx = np.ones(config.n_sensors, dtype=np.float64)
-        # Farthest-first order for the linear relay-load pass, computed once.
-        self._traffic_order = np.argsort(self.routing.dist, kind="stable")[::-1]
-
-        # --- targets & clusters ---
-        if config.target_mobility == "waypoint":
-            from ..mobility.waypoint import RandomWaypointProcess
-
-            self.targets = RandomWaypointProcess(
-                self.field,
-                config.n_targets,
-                config.target_period_s,
-                self.rng,
-                speed_mps=config.target_speed_mps,
-            )
-        else:
-            self.targets = TargetProcess(
-                self.field, config.n_targets, config.target_period_s, self.rng
-            )
-        self.cluster_set: ClusterSet
-        self.activator = None  # set by _rebuild_clusters
-        self._rebuild_clusters()
-
-        # --- recharge machinery ---
+        self.state = SimulationState.from_config(config, trace=trace)
+        self.clusters = ClusterManager(self.state)
         if scheduler is None:
-            from .runner import make_scheduler
-
-            scheduler = make_scheduler(config.scheduler, config.n_rvs)
-        self.scheduler = scheduler
-        if config.adaptive_erp:
-            self.erc: EnergyRequestController = AdaptiveEnergyRequestController(
-                initial_erp=config.erp
-            )
-        else:
-            self.erc = EnergyRequestController(config.erp)
-        self.requests = RechargeNodeList()
-        self.requested = np.zeros(config.n_sensors, dtype=bool)
-        self.rvs: List[RechargingVehicle] = [
-            RechargingVehicle(
-                rv_id=i,
-                depot=self.field.base_station,
-                speed_mps=config.rv_speed_mps,
-                moving_cost_j_per_m=config.rv_moving_cost_j_per_m,
-                capacity_j=config.rv_capacity_j,
-            )
-            for i in range(config.n_rvs)
-        ]
-        self._returning = np.zeros(config.n_rvs, dtype=bool)
-
-        # --- accounting ---
-        self.metrics = MetricsCollector()
-        self._last_energy_t = 0.0
-        self._rates = np.zeros(config.n_sensors, dtype=np.float64)
-        self._energy_breakdown_j = {
-            "idle": 0.0,
-            "sensing": 0.0,
-            "relay": 0.0,
-            "leakage": 0.0,
-            "notifications": 0.0,
-        }
-        self._recompute_rates()
+            scheduler = SCHEDULERS.build(config.scheduler, fleet_size=config.n_rvs)
+        self.gate = RequestGate(self.state)
+        self.energy = EnergyAccounting(self.state, on_deaths=self.gate.note_deaths)
+        self.fleet = FleetController(
+            self.state, self.energy, self.gate, scheduler, on_change=self._record_metrics
+        )
         self._record_metrics()
 
-        # --- initial events ---
-        self.sim.schedule(config.tick_s, self._on_tick, priority=_PRIO_TICK)
-        self.sim.schedule(config.target_period_s, self._on_relocate, priority=_PRIO_RELOCATE)
-        self.sim.schedule(
-            config.dispatch_period_s, self._on_dispatch_round, priority=_PRIO_DISPATCH
+        sim = self.state.sim
+        sim.schedule(config.tick_s, self._on_tick, priority=PRIO_TICK)
+        sim.schedule(config.target_period_s, self._on_relocate, priority=PRIO_RELOCATE)
+        sim.schedule(config.dispatch_period_s, self._on_dispatch_round, priority=PRIO_DISPATCH)
+
+    # -- periodic events --
+
+    def _on_tick(self) -> None:
+        self.energy.advance()
+        if getattr(self.state.activator, "rotates", True):
+            self.energy.apply_handoffs(self.clusters.rotate())
+            self.energy.recompute()
+        self.gate.maybe_adjust()
+        self.gate.check()
+        self._record_metrics()
+        self.sim.schedule_in(self.cfg.tick_s, self._on_tick, priority=PRIO_TICK)
+
+    def _on_dispatch_round(self) -> None:
+        """Periodic base-station scheduling round over the backlog."""
+        self.energy.advance()
+        self.gate.check()
+        self.fleet.dispatch()
+        self._record_metrics()
+        self.sim.schedule_in(
+            self.cfg.dispatch_period_s, self._on_dispatch_round, priority=PRIO_DISPATCH
         )
 
-    # ------------------------------------------------------------------
-    # cluster / activation state
-    # ------------------------------------------------------------------
-
-    def _rebuild_clusters(self) -> None:
-        """Re-form clusters over the alive sensors for the current targets."""
-        from ..geometry.coverage import detection_matrix
-
-        # A target is *coverable* if any deployed sensor (alive or not)
-        # could see it: the coverage-ratio metric is normalized against
-        # these, so it reports scheduling quality, not deployment luck.
-        det = detection_matrix(self.sensor_pos, self.targets.positions, self.cfg.sensing_range_m)
-        self._coverable = det.any(axis=0)
-        alive_idx = np.flatnonzero(self.bank.alive_mask())
-        cluster_fn = (
-            balanced_clustering
-            if getattr(self.cfg, "clustering", "balanced") == "balanced"
-            else nearest_target_clustering
+    def _on_relocate(self) -> None:
+        self.energy.advance()
+        self.clusters.relocate()
+        self.energy.recompute()
+        self.gate.check()
+        self._record_metrics()
+        self.sim.schedule_in(
+            self.cfg.target_period_s, self._on_relocate, priority=PRIO_RELOCATE
         )
-        local = cluster_fn(
-            self.sensor_pos[alive_idx], self.targets.positions, self.cfg.sensing_range_m
-        )
-        clusters = [
-            Cluster(c.cluster_id, alive_idx[c.members]) if c.size else Cluster(c.cluster_id, c.members)
-            for c in local
-        ]
-        self.cluster_set = ClusterSet(clusters, self.cfg.n_sensors)
-        if self.cfg.activation == "round_robin":
-            self.activator = RoundRobinActivator(self.cluster_set)
-        else:
-            self.activator = FullTimeActivator(self.cluster_set)
-
-    def _recompute_rates(self) -> None:
-        """Refresh the per-sensor power-draw vector (Watts).
-
-        Also keeps the per-category totals (idle / sensing / relay /
-        leakage, in Watts) used by :meth:`energy_breakdown`.
-        """
-        alive = self.bank.alive_mask()
-        active = self.activator.active_mask(alive)
-        n = self.cfg.n_sensors
-        rates = np.zeros(n, dtype=np.float64)
-        rates[alive] = self.power.idle_power_w
-        rates[active] += self.power.active_sensing_power_w
-        # Relay load: push each active origin's packet rate down the
-        # routing tree (farthest vertex first), skipping dead relays'
-        # consumption (they can't forward).
-        through = np.zeros(n + 1, dtype=np.float64)
-        connected = np.isfinite(self.routing.dist[:n])
-        origins = active & connected
-        through[:n][origins] = self.power.packet_rate_hz
-        parent = self.routing.parent
-        base = self.routing.base
-        for v in self._traffic_order:
-            if v == base or through[v] == 0.0:
-                continue
-            p = parent[v]
-            if p >= 0:
-                through[p] += through[v]
-        relay = through[:n] - np.where(origins, self.power.packet_rate_hz, 0.0)
-        relay_w = np.where(alive, relay * self._per_packet_relay_j * self._uplink_etx, 0.0)
-        rates += relay_w
-        leak_total = 0.0
-        if self.cfg.self_discharge_fraction_per_day > 0:
-            # Charge-proportional leakage, frozen at the current level
-            # until the next rate recomputation (piecewise-linear
-            # approximation of the exponential decay).
-            leak_per_s = self.cfg.self_discharge_fraction_per_day / 86400.0
-            leak_w = np.where(alive, self.bank.levels_j * leak_per_s, 0.0)
-            rates += leak_w
-            leak_total = float(leak_w.sum())
-        rates[~alive] = 0.0
-        self._rates = rates
-        self._active = active
-        self._category_watts = {
-            "idle": float(np.count_nonzero(alive)) * self.power.idle_power_w,
-            "sensing": float(np.count_nonzero(active)) * self.power.active_sensing_power_w,
-            "relay": float(relay_w.sum()),
-            "leakage": leak_total,
-        }
-
-    # ------------------------------------------------------------------
-    # energy accounting & metrics
-    # ------------------------------------------------------------------
-
-    def _advance_energy(self) -> None:
-        """Drain batteries for the elapsed interval; handle depletions."""
-        dt = self.sim.now - self._last_energy_t
-        if dt > 0:
-            was_alive = self.bank.alive_mask()
-            self.bank.drain_rates(self._rates, dt)
-            for cat, watts in self._category_watts.items():
-                self._energy_breakdown_j[cat] += watts * dt
-            self._last_energy_t = self.sim.now
-            died = was_alive & ~self.bank.alive_mask()
-            if np.any(died):
-                if self.trace.enabled:
-                    for s in np.flatnonzero(died):
-                        self.trace.emit(self.sim.now, EventKind.SENSOR_DEPLETED, int(s))
-                observe = getattr(self.erc, "observe_deaths", None)
-                if observe is not None:
-                    observe(int(np.count_nonzero(died)))
-                # Depleted sensors stop sensing and relaying.
-                self._recompute_rates()
 
     def _record_metrics(self) -> None:
-        alive = self.bank.alive_mask()
-        coverable = self._coverable
-        if np.any(coverable):
-            covered = self.activator.covered_mask(alive)
-            coverage = float(np.mean(covered[coverable]))
+        s = self.state
+        alive = s.bank.alive_mask()
+        if np.any(s.coverable):
+            coverage = float(np.mean(s.activator.covered_mask(alive)[s.coverable]))
         else:
             coverage = 1.0
         nonfunctional = float(np.mean(~alive)) if self.cfg.n_sensors > 0 else 0.0
         operational = float(np.count_nonzero(alive))
-        self.metrics.record(self.sim.now, coverage, nonfunctional, operational)
-        if self.trace.enabled:
-            now = self.sim.now
-            self.trace.sample_series(now, "coverage", coverage)
-            self.trace.sample_series(now, "nonfunctional", nonfunctional)
-            self.trace.sample_series(now, "operational", operational)
-            self.trace.sample_series(now, "backlog", float(len(self.requests)))
+        s.metrics.record(s.now, coverage, nonfunctional, operational)
+        if s.trace.enabled:
+            s.trace.sample_series(s.now, "coverage", coverage)
+            s.trace.sample_series(s.now, "nonfunctional", nonfunctional)
+            s.trace.sample_series(s.now, "operational", operational)
+            s.trace.sample_series(s.now, "backlog", float(len(s.requests)))
 
-    # ------------------------------------------------------------------
-    # request release & scheduling
-    # ------------------------------------------------------------------
-
-    def _check_requests(self) -> bool:
-        """Run the ERC gate; returns True if anything was released."""
-        below = self.bank.below_threshold_mask()
-        to_release = self.erc.nodes_to_release(self.cluster_set, below, self.requested)
-        for s in to_release:
-            self.requests.add(
-                RechargeRequest(
-                    node_id=int(s),
-                    position=self.sensor_pos[s],
-                    demand_j=float(self.bank.demands_j[s]),
-                    cluster_id=self.cluster_set.cluster_of(int(s)),
-                    release_time_s=self.sim.now,
-                )
-            )
-            self.requested[s] = True
-            self.metrics.note_request(int(s), self.sim.now)
-            if self.trace.enabled:
-                self.trace.emit(
-                    self.sim.now,
-                    EventKind.REQUEST_RELEASED,
-                    int(s),
-                    float(self.bank.demands_j[s]),
-                )
-        return bool(to_release)
-
-    def _idle_views(self) -> List[RVView]:
-        views = []
-        for rv in self.rvs:
-            if rv.busy or self._returning[rv.rv_id]:
-                continue
-            views.append(
-                RVView(
-                    rv_id=rv.rv_id,
-                    position=rv.position,
-                    budget_j=rv.battery.level_j,
-                    em_j_per_m=rv.moving_cost_j_per_m,
-                    charge_efficiency=self.cfg.charge_model.efficiency,
-                    depot=rv.depot,
-                )
-            )
-        return views
-
-    def _dispatch(self) -> None:
-        """Hand pending requests to idle RVs via the scheduler."""
-        if len(self.requests) == 0:
-            return
-        views = self._idle_views()
-        if not views:
-            return
-        observe = getattr(self.scheduler, "observe_time", None)
-        if observe is not None:
-            observe(self.sim.now)
-        plans = self.scheduler.assign(self.requests, views, self.rng)
-        for rv_id, plan in plans.items():
-            rv = self.rvs[rv_id]
-            rv.begin_sortie(list(plan.node_ids))
-            if self.trace.enabled:
-                self.trace.emit(
-                    self.sim.now, EventKind.SORTIE_ASSIGNED, rv_id, float(len(plan))
-                )
-            self._rv_next_leg(rv)
-        # Idle RVs that got nothing while work exists go home to refill
-        # (an empty budget is the usual reason the scheduler skipped them).
-        if len(self.requests) > 0:
-            for view in self._idle_views():
-                rv = self.rvs[view.rv_id]
-                if rv.battery.level_j < rv.capacity_j - 1e-9 and not rv.at_depot:
-                    self._send_home(rv)
-
-    def _send_home(self, rv: RechargingVehicle) -> None:
-        self._returning[rv.rv_id] = True
-        tt = rv.travel_time_to(rv.depot)
-        self.sim.schedule_in(tt, lambda rv=rv: self._rv_home(rv), priority=_PRIO_RV)
-
-    def _rv_home(self, rv: RechargingVehicle) -> None:
-        self._advance_energy()
-        rv.return_to_depot()
-        if self.trace.enabled:
-            self.trace.emit(self.sim.now, EventKind.RV_RETURNED_HOME, rv.rv_id)
-        if self.cfg.rv_depot_dwell_s > 0:
-            # The RV stays docked (still "returning") while its own
-            # battery refills at the base station.
-            self.sim.schedule_in(
-                self.cfg.rv_depot_dwell_s,
-                lambda rv=rv: self._rv_ready(rv),
-                priority=_PRIO_RV,
-            )
-        else:
-            self._rv_ready(rv)
-
-    def _rv_ready(self, rv: RechargingVehicle) -> None:
-        self._returning[rv.rv_id] = False
-        if self.cfg.dispatch_on_idle:
-            self._check_requests()
-            self._dispatch()
-        self._record_metrics()
-
-    # ------------------------------------------------------------------
-    # RV sortie execution
-    # ------------------------------------------------------------------
-
-    def _rv_next_leg(self, rv: RechargingVehicle) -> None:
-        if not rv.itinerary:
-            rv.end_sortie()
-            if self.cfg.dispatch_on_idle:
-                self._check_requests()
-                self._dispatch()
-            return
-        node = rv.itinerary[0]
-        tt = rv.travel_time_to(self.sensor_pos[node])
-        self.sim.schedule_in(tt, lambda rv=rv: self._rv_arrive(rv), priority=_PRIO_RV)
-
-    def _rv_arrive(self, rv: RechargingVehicle) -> None:
-        self._advance_energy()
-        node = rv.itinerary.pop(0)
-        rv.move_to(self.sensor_pos[node])
-        if self.trace.enabled:
-            self.trace.emit(self.sim.now, EventKind.RV_ARRIVED, rv.rv_id, float(node))
-        demand = float(self.bank.demands_j[node])
-        charge_time = self.cfg.charge_model.charge_time_s(demand)
-        self.sim.schedule_in(
-            charge_time, lambda rv=rv, node=node: self._rv_finish_charge(rv, node), priority=_PRIO_RV
-        )
-
-    def _rv_finish_charge(self, rv: RechargingVehicle, node: int) -> None:
-        self._advance_energy()
-        was_depleted = bool(self.bank.levels_j[node] <= 0.0)
-        delivered = self.bank.charge_to_full([node])
-        if self.trace.enabled:
-            self.trace.emit(self.sim.now, EventKind.NODE_RECHARGED, int(node), delivered)
-            if was_depleted:
-                self.trace.emit(self.sim.now, EventKind.SENSOR_REVIVED, int(node))
-        rv.deliver(delivered, self.cfg.charge_model.efficiency)
-        self.requested[node] = False
-        self.requests.remove(node)  # in case it was still listed
-        self.metrics.note_recharge(node, self.sim.now)
-        # A refilled node may have been depleted: rates and coverage change.
-        self._recompute_rates()
-        self._record_metrics()
-        self._rv_next_leg(rv)
-
-    # ------------------------------------------------------------------
-    # periodic events
-    # ------------------------------------------------------------------
-
-    def _on_tick(self) -> None:
-        self._advance_energy()
-        if self.cfg.activation == "round_robin":
-            handoffs = self.activator.rotate(self.bank.alive_mask())
-            if len(handoffs) and self.trace.enabled:
-                self.trace.emit(self.sim.now, EventKind.ROTATION, -1, float(len(handoffs)))
-            if len(handoffs):
-                # Notification TX for the retiring node, RX for the successor.
-                rx_j = self.power.radio.rx_energy_j(self.power.payload_bytes)
-                self.bank.drain_energy(handoffs[:, 0], self._notification_j)
-                self.bank.drain_energy(handoffs[:, 1], rx_j)
-                self._energy_breakdown_j["notifications"] += len(handoffs) * (
-                    self._notification_j + rx_j
-                )
-            self._recompute_rates()
-        adjust = getattr(self.erc, "maybe_adjust", None)
-        if adjust is not None:
-            adjust(self.sim.now)
-        self._check_requests()
-        self._record_metrics()
-        self.sim.schedule_in(self.cfg.tick_s, self._on_tick, priority=_PRIO_TICK)
-
-    def _on_dispatch_round(self) -> None:
-        """Periodic base-station scheduling round over the backlog."""
-        self._advance_energy()
-        self._check_requests()
-        self._dispatch()
-        self._record_metrics()
-        self.sim.schedule_in(
-            self.cfg.dispatch_period_s, self._on_dispatch_round, priority=_PRIO_DISPATCH
-        )
-
-    def _on_relocate(self) -> None:
-        self._advance_energy()
-        self.targets.relocate()
-        if self.trace.enabled:
-            self.trace.emit(self.sim.now, EventKind.TARGETS_RELOCATED, self.targets.epoch)
-        self._rebuild_clusters()
-        self._recompute_rates()
-        self._check_requests()
-        self._record_metrics()
-        self.sim.schedule_in(
-            self.cfg.target_period_s, self._on_relocate, priority=_PRIO_RELOCATE
-        )
-
-    # ------------------------------------------------------------------
-    # run
-    # ------------------------------------------------------------------
+    # -- run --
 
     def run(self) -> SimulationSummary:
         """Run to the configured horizon and return the summary."""
         self.sim.run_until(self.cfg.sim_time_s)
-        self._advance_energy()
-        dist = sum(rv.stats.distance_m for rv in self.rvs)
-        menergy = sum(rv.stats.moving_energy_j for rv in self.rvs)
-        delivered = sum(rv.stats.delivered_energy_j for rv in self.rvs)
-        sorties = sum(rv.stats.sorties for rv in self.rvs)
-        return self.metrics.finalize(
+        self.energy.advance()
+        books = self.fleet.totals()
+        return self.state.metrics.finalize(
             t_end=self.cfg.sim_time_s,
-            rv_distance_m=dist,
-            rv_moving_energy_j=menergy,
-            delivered_energy_j=delivered,
-            n_sorties=sorties,
+            rv_distance_m=books["distance_m"],
+            rv_moving_energy_j=books["moving_energy_j"],
+            delivered_energy_j=books["delivered_energy_j"],
+            n_sorties=books["sorties"],
             events_fired=self.sim.events_fired,
         )
 
-    # ------------------------------------------------------------------
-    # introspection helpers (used by examples and tests)
-    # ------------------------------------------------------------------
+    # -- introspection helpers (used by examples and tests) --
 
     def energy_breakdown(self) -> Dict[str, float]:
-        """Cumulative network consumption by category (Joules).
-
-        Categories: ``idle`` (sleeping detectors + radios), ``sensing``
-        (active monitoring incl. own report TX), ``relay`` (forwarding
-        others' packets, ETX-weighted when that metric is on),
-        ``leakage`` (Ni-MH self-discharge, when enabled) and
-        ``notifications`` (round-robin hand-off packets).  The upper
-        bound is loose where sensors clamp at empty — a depleted node's
-        nominal draw is not actually withdrawn.
-        """
-        return dict(self._energy_breakdown_j)
+        """Cumulative network consumption by category (Joules):
+        ``idle``, ``sensing``, ``relay``, ``leakage`` and
+        ``notifications`` (round-robin hand-off packets).  Loose upper
+        bound where sensors clamp at empty."""
+        return self.energy.breakdown()
 
     def snapshot(self) -> Dict[str, np.ndarray]:
         """A read-only view of the current world state."""
-        alive = self.bank.alive_mask()
+        s = self.state
+        alive = s.bank.alive_mask()
         return {
-            "time_s": np.array(self.sim.now),
-            "sensor_positions": self.sensor_pos.copy(),
-            "battery_levels_j": self.bank.levels_j.copy(),
+            "time_s": np.array(s.now),
+            "sensor_positions": s.sensor_pos.copy(),
+            "battery_levels_j": s.bank.levels_j.copy(),
             "alive": alive,
-            "active": self.activator.active_mask(alive),
-            "target_positions": self.targets.positions.copy(),
-            "cluster_membership": self.cluster_set.membership.copy(),
+            "active": s.activator.active_mask(alive),
+            "target_positions": s.targets.positions.copy(),
+            "cluster_membership": s.cluster_set.membership.copy(),
             "rv_positions": np.vstack([rv.position for rv in self.rvs])
             if self.rvs
             else np.empty((0, 2)),
-            "pending_requests": self.requests.node_ids,
+            "pending_requests": s.requests.node_ids,
         }
+
+    # -- pre-split delegation surface (stable API over the component split) --
+
+    def _recompute_rates(self) -> None:
+        self.energy.recompute()
+
+    def _advance_energy(self) -> None:
+        self.energy.advance()
+
+    def _rebuild_clusters(self) -> None:
+        self.clusters.rebuild()
+
+    def _check_requests(self) -> bool:
+        return self.gate.check()
+
+    def _dispatch(self) -> None:
+        self.fleet.dispatch()
+
+    def _rv_arrive(self, rv) -> None:
+        self.fleet._rv_arrive(rv)
+
+
+# Flat attribute access forwarded to the owning component; the private
+# names keep the pre-split white-box tests and tooling working.
+_FORWARDED = {
+    "sim": "state.sim", "rng": "state.rng", "trace": "state.trace",
+    "field": "state.field", "power": "state.power",
+    "sensor_pos": "state.sensor_pos", "bank": "state.bank",
+    "topology": "state.topology", "routing": "state.routing",
+    "targets": "state.targets", "cluster_set": "state.cluster_set",
+    "activator": "state.activator", "metrics": "state.metrics",
+    "requests": "state.requests", "requested": "state.requested",
+    "_coverable": "state.coverable", "_uplink_etx": "state.uplink_etx",
+    "rvs": "fleet.rvs", "scheduler": "fleet.scheduler",
+    "_returning": "fleet.returning", "erc": "gate.erc",
+    "_rates": "energy.rates", "_active": "energy.active",
+}
+
+for _name, _path in _FORWARDED.items():
+    _owner, _attr = _path.split(".")
+    setattr(
+        World,
+        _name,
+        property(lambda self, o=_owner, a=_attr: getattr(getattr(self, o), a)),
+    )
+del _name, _path, _owner, _attr

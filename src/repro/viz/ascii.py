@@ -8,7 +8,7 @@ snapshot (:meth:`repro.sim.world.World.snapshot`) or trace series.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 

@@ -8,7 +8,6 @@ Everything is built from string templates; no third-party renderer.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.mobility",
     "repro.network",
     "repro.sim",
+    "repro.sim.components",
     "repro.tsp",
     "repro.utils",
     "repro.viz",
@@ -51,6 +52,12 @@ MODULES = [
     "repro.network.routing",
     "repro.network.topology",
     "repro.network.traffic",
+    "repro.registry",
+    "repro.sim.components.clusters",
+    "repro.sim.components.energy",
+    "repro.sim.components.fleet",
+    "repro.sim.components.gate",
+    "repro.sim.components.state",
     "repro.sim.config",
     "repro.sim.engine",
     "repro.sim.metrics",

@@ -1,0 +1,298 @@
+"""Unit tests for the extracted simulation components.
+
+Each component is exercised through its own seam — built over a shared
+:class:`SimulationState` with only the collaborators it declares —
+rather than through a fully wired :class:`World`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.erc import AdaptiveEnergyRequestController
+from repro.sim.components import (
+    ClusterManager,
+    EnergyAccounting,
+    FleetController,
+    RequestGate,
+    SimulationState,
+)
+from repro.sim.config import SimulationConfig
+
+
+def cfg(**overrides):
+    defaults = dict(
+        n_sensors=30,
+        n_targets=2,
+        n_rvs=1,
+        side_length_m=50.0,
+        sensing_range_m=12.0,
+        sim_time_s=24 * 3600.0,
+        battery_capacity_j=500.0,
+        initial_charge_range=(0.6, 0.9),
+        dispatch_period_s=1800.0,
+        tick_s=300.0,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def make_state(**overrides):
+    return SimulationState.from_config(cfg(**overrides))
+
+
+def make_clustered_state(**overrides):
+    state = make_state(**overrides)
+    ClusterManager(state)
+    return state
+
+
+class TestSimulationState:
+    def test_from_config_shapes(self):
+        s = make_state()
+        assert s.sensor_pos.shape == (30, 2)
+        assert len(s.bank) == 30
+        assert s.requested.shape == (30,)
+        assert not s.requested.any()
+        assert s.cluster_set is None  # ClusterManager's job
+
+    def test_same_seed_same_deployment(self):
+        a, b = make_state(), make_state()
+        assert np.array_equal(a.sensor_pos, b.sensor_pos)
+        assert np.array_equal(a.bank.levels_j, b.bank.levels_j)
+        assert np.array_equal(a.targets.positions, b.targets.positions)
+
+    def test_different_seed_different_deployment(self):
+        a, b = make_state(), make_state(seed=12)
+        assert not np.array_equal(a.sensor_pos, b.sensor_pos)
+
+
+class TestClusterManager:
+    def test_rebuild_publishes_state(self):
+        s = make_state()
+        ClusterManager(s)
+        assert s.cluster_set is not None
+        assert len(s.cluster_set) == 2
+        assert s.activator is not None
+        assert s.coverable.shape == (2,)
+
+    def test_members_within_sensing_range(self):
+        s = make_clustered_state()
+        for c in s.cluster_set:
+            for member in c.members:
+                d = np.hypot(*(s.sensor_pos[member] - s.targets.positions[c.cluster_id]))
+                assert d <= s.cfg.sensing_range_m
+
+    def test_relocate_rebuilds(self):
+        s = make_state()
+        mgr = ClusterManager(s)
+        before = s.cluster_set
+        epoch = s.targets.epoch
+        mgr.relocate()
+        assert s.targets.epoch == epoch + 1
+        assert s.cluster_set is not before
+
+    def test_rotate_moves_duty(self):
+        s = make_state()
+        mgr = ClusterManager(s)
+        alive = s.bank.alive_mask()
+        before = s.activator.active_sensor_per_cluster(alive).copy()
+        handoffs = mgr.rotate()
+        after = s.activator.active_sensor_per_cluster(alive)
+        assert handoffs.shape[1] == 2
+        # Duty moved exactly where a hand-off was reported.
+        moved = {int(c) for c in np.flatnonzero(before != after)}
+        reported = {int(s.cluster_set.cluster_of(int(old))) for old, _ in handoffs}
+        assert moved == reported
+
+    def test_full_time_does_not_rotate(self):
+        s = make_clustered_state(activation="full_time")
+        assert s.activator.rotates is False
+        assert len(ClusterManager(s).rotate()) == 0
+
+    def test_dead_sensors_excluded_from_clusters(self):
+        s = make_state()
+        s.bank.levels_j[:] = 0.0
+        ClusterManager(s)
+        assert all(c.size == 0 for c in s.cluster_set)
+
+
+class TestEnergyAccounting:
+    def build(self, s, **kw):
+        return EnergyAccounting(s, **kw)
+
+    def test_dead_sensors_draw_nothing(self):
+        s = make_clustered_state()
+        s.bank.levels_j[:5] = 0.0
+        energy = self.build(s)
+        assert np.all(energy.rates[:5] == 0.0)
+
+    def test_alive_draw_at_least_idle(self):
+        s = make_clustered_state()
+        energy = self.build(s)
+        alive = s.bank.alive_mask()
+        assert np.all(energy.rates[alive] >= s.power.idle_power_w - 1e-15)
+
+    def test_advance_drains_and_books(self):
+        s = make_clustered_state()
+        energy = self.build(s)
+        before = s.bank.levels_j.copy()
+        rates = energy.rates.copy()
+        s.sim.now = 1000.0
+        energy.advance()
+        expected = np.clip(before - rates * 1000.0, 0.0, s.cfg.battery_capacity_j)
+        assert np.allclose(s.bank.levels_j, expected)
+        breakdown = energy.breakdown()
+        assert breakdown["idle"] > 0.0
+        assert breakdown["sensing"] > 0.0
+
+    def test_death_triggers_refresh_and_callback(self):
+        s = make_clustered_state()
+        deaths = []
+        energy = self.build(s, on_deaths=deaths.append)
+        victim = int(np.flatnonzero(energy.active)[0])
+        s.bank.levels_j[victim] = energy.rates[victim] * 10.0  # dies in 10 s
+        s.sim.now = 100.0
+        energy.advance()
+        assert s.bank.levels_j[victim] == 0.0
+        assert energy.rates[victim] == 0.0
+        assert deaths == [1]
+
+    def test_apply_handoffs_charges_notifications(self):
+        s = make_clustered_state()
+        energy = self.build(s)
+        handoffs = np.array([[0, 1]], dtype=np.int64)
+        before = s.bank.levels_j[[0, 1]].copy()
+        energy.apply_handoffs(handoffs)
+        assert np.all(s.bank.levels_j[[0, 1]] < before)
+        assert energy.breakdown()["notifications"] > 0.0
+
+    def test_empty_handoffs_noop(self):
+        s = make_clustered_state()
+        energy = self.build(s)
+        before = s.bank.levels_j.copy()
+        energy.apply_handoffs(np.empty((0, 2), dtype=np.int64))
+        assert np.array_equal(before, s.bank.levels_j)
+
+
+class TestRequestGate:
+    def test_release_below_threshold(self):
+        s = make_clustered_state(erp=0.0)
+        gate = RequestGate(s)
+        s.bank.levels_j[[0, 1]] = s.bank.threshold_j * 0.9
+        assert gate.check()
+        assert s.requested[0] and s.requested[1]
+        assert 0 in s.requests and 1 in s.requests
+
+    def test_no_double_release(self):
+        s = make_clustered_state(erp=0.0)
+        gate = RequestGate(s)
+        s.bank.levels_j[0] = s.bank.threshold_j * 0.9
+        gate.check()
+        n = len(s.requests)
+        gate.check()
+        assert len(s.requests) == n
+
+    def test_mark_recharged_clears(self):
+        s = make_clustered_state(erp=0.0)
+        gate = RequestGate(s)
+        s.bank.levels_j[3] = s.bank.threshold_j * 0.9
+        gate.check()
+        gate.mark_recharged(3)
+        assert not s.requested[3]
+        assert 3 not in s.requests
+
+    def test_adaptive_policy_built_from_config(self):
+        s = make_clustered_state(adaptive_erp=True, erp=0.3)
+        gate = RequestGate(s)
+        assert isinstance(gate.erc, AdaptiveEnergyRequestController)
+        assert gate.erc.erp == pytest.approx(0.3)
+
+    def test_note_deaths_feeds_adaptive_policy(self):
+        s = make_clustered_state(adaptive_erp=True, erp=0.4)
+        gate = RequestGate(s)
+        gate.note_deaths(2)
+        s.sim.now = gate.erc.adjust_period_s + 1.0
+        gate.maybe_adjust()
+        assert gate.erc.erp < 0.4  # AIMD backoff after deaths
+
+    def test_note_deaths_noop_for_static_policy(self):
+        s = make_clustered_state()
+        gate = RequestGate(s)
+        gate.note_deaths(5)  # must not raise
+        gate.maybe_adjust()
+
+
+def wire_fleet(s, **cfg_kw):
+    from repro.registry import SCHEDULERS
+
+    gate = RequestGate(s)
+    energy = EnergyAccounting(s, on_deaths=gate.note_deaths)
+    scheduler = SCHEDULERS.build(s.cfg.scheduler, fleet_size=s.cfg.n_rvs)
+    fleet = FleetController(s, energy, gate, scheduler)
+    return gate, energy, fleet
+
+
+class TestFleetController:
+    def test_builds_fleet(self):
+        s = make_clustered_state(n_rvs=2)
+        _, _, fleet = wire_fleet(s)
+        assert len(fleet.rvs) == 2
+        assert len(fleet.idle_views()) == 2
+
+    def test_dispatch_assigns_sortie(self):
+        s = make_clustered_state(erp=0.0)
+        gate, _, fleet = wire_fleet(s)
+        s.bank.levels_j[[0, 1]] = s.bank.threshold_j * 0.9
+        gate.check()
+        fleet.dispatch()
+        assert fleet.rvs[0].busy
+        assert len(fleet.idle_views()) == 0
+
+    def test_dispatch_without_requests_noop(self):
+        s = make_clustered_state()
+        _, _, fleet = wire_fleet(s)
+        fleet.dispatch()
+        assert not fleet.rvs[0].busy
+
+    def test_broke_rv_sent_home(self):
+        s = make_clustered_state(erp=0.0, rv_capacity_j=1000.0)
+        gate, _, fleet = wire_fleet(s)
+        rv = fleet.rvs[0]
+        rv.battery.level_j = 1.0  # cannot afford anything
+        rv.position = np.array([1.0, 1.0])  # away from depot
+        s.bank.levels_j[0] = s.bank.threshold_j * 0.9
+        gate.check()
+        fleet.dispatch()
+        assert fleet.returning[0]
+
+    def test_sortie_executes_through_engine(self):
+        s = make_clustered_state(erp=0.0)
+        gate, _, fleet = wire_fleet(s)
+        s.bank.levels_j[4] = s.bank.threshold_j * 0.9
+        gate.check()
+        fleet.dispatch()
+        while s.sim.step():
+            pass
+        assert s.bank.levels_j[4] == s.cfg.battery_capacity_j
+        assert not s.requested[4]
+        assert fleet.totals()["delivered_energy_j"] > 0.0
+        assert fleet.totals()["sorties"] == 1
+
+    def test_on_change_fires_after_recharge(self):
+        s = make_clustered_state(erp=0.0)
+        from repro.registry import SCHEDULERS
+
+        gate = RequestGate(s)
+        energy = EnergyAccounting(s)
+        changes = []
+        fleet = FleetController(
+            s, energy, gate, SCHEDULERS.build("greedy", fleet_size=1),
+            on_change=lambda: changes.append(s.now),
+        )
+        s.bank.levels_j[4] = s.bank.threshold_j * 0.9
+        gate.check()
+        fleet.dispatch()
+        while s.sim.step():
+            pass
+        assert changes

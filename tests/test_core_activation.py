@@ -1,7 +1,6 @@
 """Unit tests for the activation schemes (Section III-C)."""
 
 import numpy as np
-import pytest
 
 from repro.core.activation import FullTimeActivator, RoundRobinActivator
 from repro.core.clustering import Cluster, ClusterSet

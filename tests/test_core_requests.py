@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.requests import (
-    AggregatedRequest,
     RechargeNodeList,
     RechargeRequest,
     aggregate_by_cluster,

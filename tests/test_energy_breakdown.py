@@ -1,8 +1,5 @@
 """Tests for the per-category network energy breakdown."""
 
-import numpy as np
-import pytest
-
 from repro.sim.config import DAY_S, SimulationConfig
 from repro.sim.world import World
 

@@ -15,7 +15,6 @@ from repro.experiments.fig4_activity import (
     CASES,
     activity_saving_percent,
     format_fig4,
-    run_fig4,
 )
 from repro.experiments.fig5_tradeoff import format_fig5, run_fig5
 from repro.experiments.fig6_schemes import format_panel, panel_a, panel_b, panel_c, panel_d

@@ -29,6 +29,83 @@ GOLDEN_CONFIG = dict(
     seed=2024,
 )
 
+# Full fixed-seed summaries for the four paper schedulers, recorded
+# bit-identically against the pre-component-split engine.  Equality is
+# exact (==, not approx): the component refactor must not perturb a
+# single ulp of the trajectory.
+GOLDEN_SUMMARIES = {
+    "greedy": {
+        "sim_time_s": 86400.0,
+        "traveling_distance_m": 1607.669214713484,
+        "traveling_energy_j": 9002.94760239551,
+        "delivered_energy_j": 11930.710443047985,
+        "objective_j": 2927.7628406524746,
+        "avg_coverage_ratio": 1.0,
+        "missing_rate": 0.0,
+        "avg_nonfunctional_fraction": 0.0,
+        "avg_operational_sensors": 50.0,
+        "recharging_cost_m_per_sensor": 32.15338429426968,
+        "n_recharges": 42.0,
+        "n_sorties": 31.0,
+        "n_requests": 43.0,
+        "mean_request_latency_s": 1501.6844562618207,
+        "events_fired": 260.0,
+    },
+    "insertion": {
+        "sim_time_s": 86400.0,
+        "traveling_distance_m": 1162.9178148301464,
+        "traveling_energy_j": 6512.339763048821,
+        "delivered_energy_j": 11997.32380121371,
+        "objective_j": 5484.984038164889,
+        "avg_coverage_ratio": 1.0,
+        "missing_rate": 0.0,
+        "avg_nonfunctional_fraction": 0.0,
+        "avg_operational_sensors": 50.0,
+        "recharging_cost_m_per_sensor": 23.25835629660293,
+        "n_recharges": 42.0,
+        "n_sorties": 19.0,
+        "n_requests": 43.0,
+        "mean_request_latency_s": 1681.0469371044323,
+        "events_fired": 260.0,
+    },
+    "partition": {
+        "sim_time_s": 86400.0,
+        "traveling_distance_m": 1215.4774470211055,
+        "traveling_energy_j": 6806.673703318191,
+        "delivered_energy_j": 12082.15923761838,
+        "objective_j": 5275.485534300189,
+        "avg_coverage_ratio": 1.0,
+        "missing_rate": 0.0,
+        "avg_nonfunctional_fraction": 0.0,
+        "avg_operational_sensors": 49.999999999999986,
+        "recharging_cost_m_per_sensor": 24.30954894042212,
+        "n_recharges": 42.0,
+        "n_sorties": 30.0,
+        "n_requests": 44.0,
+        "mean_request_latency_s": 1836.227306763322,
+        "events_fired": 260.0,
+    },
+    # The combined scheme with a 2-RV fleet reduces to sequential
+    # insertion here, so its trajectory coincides with "insertion".
+    "combined": {
+        "sim_time_s": 86400.0,
+        "traveling_distance_m": 1162.9178148301464,
+        "traveling_energy_j": 6512.339763048821,
+        "delivered_energy_j": 11997.32380121371,
+        "objective_j": 5484.984038164889,
+        "avg_coverage_ratio": 1.0,
+        "missing_rate": 0.0,
+        "avg_nonfunctional_fraction": 0.0,
+        "avg_operational_sensors": 50.0,
+        "recharging_cost_m_per_sensor": 23.25835629660293,
+        "n_recharges": 42.0,
+        "n_sorties": 19.0,
+        "n_requests": 43.0,
+        "mean_request_latency_s": 1681.0469371044323,
+        "events_fired": 260.0,
+    },
+}
+
 
 @pytest.fixture(scope="module")
 def summary():
@@ -64,3 +141,18 @@ class TestGolden:
             SimulationConfig(**{**GOLDEN_CONFIG, "scheduler": "greedy"})
         )
         assert other.as_dict() != summary.as_dict()
+
+
+class TestGoldenPerScheduler:
+    """Exact pinned summaries for every paper scheduler."""
+
+    @pytest.mark.parametrize("scheduler", sorted(GOLDEN_SUMMARIES))
+    def test_summary_bit_identical(self, scheduler):
+        cfg = SimulationConfig(**{**GOLDEN_CONFIG, "scheduler": scheduler})
+        got = run_simulation(cfg).as_dict()
+        expected = GOLDEN_SUMMARIES[scheduler]
+        assert set(got) == set(expected)
+        mismatches = {
+            k: (got[k], expected[k]) for k in expected if got[k] != expected[k]
+        }
+        assert not mismatches, f"{scheduler} drifted: {mismatches}"

@@ -3,7 +3,6 @@
 import importlib.util
 import json
 import pathlib
-import sys
 
 import pytest
 

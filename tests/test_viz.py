@@ -1,6 +1,5 @@
 """Tests for the ASCII and SVG visualizations."""
 
-import numpy as np
 import pytest
 
 from repro.sim.config import DAY_S, SimulationConfig

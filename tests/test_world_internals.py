@@ -1,7 +1,6 @@
 """White-box tests of the simulation world's internal machinery."""
 
 import numpy as np
-import pytest
 
 from repro.sim.config import DAY_S, SimulationConfig
 from repro.sim.world import World
