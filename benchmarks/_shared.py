@@ -4,30 +4,65 @@ The ERP sweep behind Figs. 5, 6(a-d) and 7(a-b) is expensive (18
 simulations per seed at the bench scale), so it is computed once per
 pytest session and shared by every panel's benchmark.  Each benchmark
 still *prints and persists* its own figure table under
-``benchmarks/results/``.
+``benchmarks/results/``: the ASCII table as ``<name>.txt`` and a
+machine-readable ``BENCH_<name>.json`` companion carrying the scale and
+the shared cProfile phase timings.
 
 Scale selection: set ``REPRO_SCALE`` to ``smoke`` (CI), ``bench``
 (default) or ``paper`` (the EXPERIMENTS.md numbers).
+
+Profiling: set ``REPRO_BENCH_PROFILE=1`` and the shared sweeps run
+under :func:`repro.utils.profiling.profile_call`; every
+``BENCH_*.json`` then includes a ``"profile"`` block with per-phase
+cumulative timings (clustering / dispatch / scheduler assign / energy
+advance — the same phases ``repro run --telemetry`` timers report) plus
+the overall hottest functions.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
-from typing import Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.experiments import current_scale, run_fig4, run_fig6
+from repro.utils.profiling import profile_call
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "") not in ("", "0")
+
+#: Phase-defining functions whose cumulative time is lifted out of the
+#: cProfile rows — mirrors the `repro run --telemetry` phase timers.
+_PHASE_MARKERS = {
+    "clustering": "(rebuild)",
+    "dispatch": "(dispatch)",
+    "scheduler_assign": "(assign)",
+    "energy_advance": "(advance)",
+    "energy_recompute": "(recompute)",
+    "gate_check": "(check)",
+}
+
 _sweep_cache: Optional[Dict] = None
 _fig4_cache: Optional[Dict] = None
+_profiles: Dict[str, List[Tuple[str, int, float, float]]] = {}
+
+
+def _compute(label: str, fn: Callable[[], Dict]) -> Dict:
+    """Run a shared computation, optionally under the cProfile hook."""
+    if not PROFILE:
+        return fn()
+    result, rows = profile_call(fn, top=200)
+    _profiles[label] = rows
+    return result
 
 
 def get_sweep() -> Dict:
     """The seed-averaged ERP x scheme sweep (computed once)."""
     global _sweep_cache
     if _sweep_cache is None:
-        _sweep_cache = run_fig6(current_scale())
+        _sweep_cache = _compute("fig6_sweep", lambda: run_fig6(current_scale()))
     return _sweep_cache
 
 
@@ -35,12 +70,53 @@ def get_fig4() -> Dict:
     """The 12-cell activity-management comparison (computed once)."""
     global _fig4_cache
     if _fig4_cache is None:
-        _fig4_cache = run_fig4(current_scale())
+        _fig4_cache = _compute("fig4", lambda: run_fig4(current_scale()))
     return _fig4_cache
 
 
+def _phase_timings(rows: List[Tuple[str, int, float, float]]) -> Dict[str, Dict[str, float]]:
+    """Per-phase cumulative seconds extracted from cProfile rows."""
+    phases: Dict[str, Dict[str, float]] = {}
+    for phase, marker in _PHASE_MARKERS.items():
+        for location, ncalls, _tottime, cumtime in rows:
+            if location.endswith(marker) and "/repro/" in location.replace("\\", "/"):
+                phases[phase] = {"ncalls": ncalls, "cumtime_s": cumtime}
+                break
+    return phases
+
+
+def _profile_payload() -> Dict[str, Any]:
+    """The ``"profile"`` block for BENCH json files (empty when off)."""
+    out: Dict[str, Any] = {}
+    for label, rows in _profiles.items():
+        out[label] = {
+            "phases": _phase_timings(rows),
+            "top": [
+                {"function": loc, "ncalls": n, "tottime_s": tot, "cumtime_s": cum}
+                for loc, n, tot, cum in rows[:15]
+            ],
+        }
+    return out
+
+
 def emit(name: str, table: str) -> None:
-    """Print a figure table and persist it under benchmarks/results/."""
+    """Print a figure table and persist it under benchmarks/results/.
+
+    Writes the human table as ``<name>.txt`` and a machine-readable
+    ``BENCH_<name>.json`` (table, scale, and — with
+    ``REPRO_BENCH_PROFILE=1`` — the shared per-phase timings).
+    """
     print("\n" + table)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    payload: Dict[str, Any] = {
+        "name": name,
+        "scale": os.environ.get("REPRO_SCALE", "bench"),
+        "table": table,
+        "profiled": PROFILE,
+    }
+    if PROFILE:
+        payload["profile"] = _profile_payload()
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )

@@ -33,10 +33,12 @@ from .core import (
     verify_routes,
 )
 from .geometry import Field, minimum_sensors_eq1
+from .obs import Instruments, NullInstruments, RunManifest
 from .registry import (
     ACTIVATORS,
     CLUSTERINGS,
     ERC_POLICIES,
+    EXPORTERS,
     MOBILITY_MODELS,
     SCHEDULERS,
     ComponentSpec,
@@ -51,6 +53,7 @@ from .sim import (
     make_scheduler,
     run_seeds,
     run_simulation,
+    run_with_telemetry,
 )
 
 __version__ = "1.0.0"
@@ -62,6 +65,7 @@ __all__ = [
     "CombinedScheduler",
     "DAY_S",
     "ERC_POLICIES",
+    "EXPORTERS",
     "MOBILITY_MODELS",
     "Registry",
     "SCHEDULERS",
@@ -71,6 +75,9 @@ __all__ = [
     "GreedyScheduler",
     "HOUR_S",
     "InsertionScheduler",
+    "Instruments",
+    "NullInstruments",
+    "RunManifest",
     "PartitionScheduler",
     "RechargeInstance",
     "RechargeNodeList",
@@ -85,6 +92,7 @@ __all__ = [
     "nearest_target_clustering",
     "run_seeds",
     "run_simulation",
+    "run_with_telemetry",
     "solve_exact_single_rv",
     "verify_routes",
     "__version__",

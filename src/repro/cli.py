@@ -2,31 +2,39 @@
 
 Commands:
 
-* ``run`` — run one simulation and print (or JSON-dump) the summary.
+* ``run`` — run one simulation and print (or JSON-dump) the summary;
+  ``--telemetry DIR`` archives a manifest + instrument exports,
+  ``--profile`` prints the cProfile hot spots.
 * ``estimate`` — closed-form deployment estimates, no simulation.
 * ``map`` — run part of a simulation and draw the field (ASCII or SVG).
 * ``figure`` — regenerate one paper figure's table.
+* ``report`` — render an archived telemetry directory as tables.
 
-Every command accepts ``--preset {small,experiment,paper}`` plus
-individual overrides, or ``--config file.json`` (see
-:mod:`repro.sim.serialization`).
+Every simulation command accepts ``--preset {small,experiment,paper}``
+plus individual overrides, or ``--config file.json`` (see
+:mod:`repro.sim.serialization`).  Global flags: ``--version`` and
+``--log-level`` (configures stdlib ``logging`` for every subcommand).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from typing import List, Optional
 
+from . import __version__
 from .analysis.estimators import DeploymentModel
-from .registry import ACTIVATORS, SCHEDULERS
+from .registry import ACTIVATORS, EXPORTERS, SCHEDULERS
 from .sim.config import DAY_S, SimulationConfig
-from .sim.runner import run_simulation
+from .sim.runner import run_simulation, run_with_telemetry
 from .sim.serialization import config_from_dict, config_to_dict
 from .utils.tables import format_table
 
 __all__ = ["main", "build_parser"]
+
+LOG_LEVELS = ("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL")
 
 _PRESETS = {
     "small": SimulationConfig.small,
@@ -69,14 +77,56 @@ def _build_config(args: argparse.Namespace) -> SimulationConfig:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     cfg = _build_config(args)
-    summary = run_simulation(cfg)
+    manifest = None
+
+    def _run():
+        nonlocal manifest
+        if args.telemetry:
+            exporters = None
+            if args.exporters:
+                exporters = [e.strip() for e in args.exporters.split(",") if e.strip()]
+            summary, manifest = run_with_telemetry(cfg, args.telemetry, exporters)
+            return summary
+        return run_simulation(cfg)
+
+    if args.profile:
+        from .utils.profiling import profile_call
+
+        summary, hot_rows = profile_call(_run, top=args.profile_top)
+    else:
+        summary, hot_rows = _run(), None
     if args.json:
         payload = {"config": config_to_dict(cfg), "summary": summary.as_dict()}
+        if manifest is not None:
+            payload["telemetry_dir"] = args.telemetry
         print(json.dumps(payload, indent=2))
-        return 0
-    rows = [[k, v] for k, v in summary.as_dict().items()]
-    print(format_table(["metric", "value"], rows, precision=4,
-                       title=f"{cfg.scheduler} / {cfg.activation} / ERP {cfg.erp}"))
+    else:
+        rows = [[k, v] for k, v in summary.as_dict().items()]
+        print(format_table(["metric", "value"], rows, precision=4,
+                           title=f"{cfg.scheduler} / {cfg.activation} / ERP {cfg.erp}"))
+        if manifest is not None:
+            print(f"\ntelemetry written to {args.telemetry} "
+                  f"({', '.join(manifest.exporters)}; manifest.json)")
+    if hot_rows is not None:
+        prof = [[loc, ncalls, tot, cum] for loc, ncalls, tot, cum in hot_rows]
+        print("\n" + format_table(
+            ["function", "ncalls", "tottime s", "cumtime s"], prof,
+            precision=4, title=f"cProfile: top {len(prof)} by cumulative time",
+        ))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs.report import format_report, load_report
+
+    try:
+        data = load_report(args.directory)
+    except FileNotFoundError:
+        print(f"no telemetry manifest found under {args.directory!r} "
+              f"(expected manifest.json; run `repro run --telemetry DIR` first)",
+              file=sys.stderr)
+        return 2
+    print(format_report(data))
     return 0
 
 
@@ -187,12 +237,38 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="WRSN joint charging & activity management (ICPP 2015 reproduction)",
     )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, metavar="LEVEL",
+        help=f"configure stdlib logging for all subcommands ({'|'.join(LOG_LEVELS)})",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run one simulation")
     _add_config_args(p_run)
     p_run.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    p_run.add_argument(
+        "--telemetry", metavar="DIR",
+        help="archive a run manifest + instrument exports into DIR",
+    )
+    p_run.add_argument(
+        "--exporters", metavar="NAMES",
+        help=f"comma-separated telemetry exporters (default: all; "
+             f"registered: {', '.join(EXPORTERS.names())})",
+    )
+    p_run.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the hottest functions",
+    )
+    p_run.add_argument(
+        "--profile-top", type=int, default=15, metavar="N",
+        help="rows in the cProfile table (default: 15)",
+    )
     p_run.set_defaults(func=_cmd_run)
+
+    p_report = sub.add_parser("report", help="render an archived telemetry directory")
+    p_report.add_argument("directory", help="directory written by `repro run --telemetry`")
+    p_report.set_defaults(func=_cmd_report)
 
     p_est = sub.add_parser("estimate", help="closed-form deployment estimates")
     _add_config_args(p_est)
@@ -234,6 +310,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level:
+        # force=True so an explicit --log-level wins even if the host
+        # process (a test runner, a notebook) already configured logging.
+        logging.basicConfig(
+            level=getattr(logging, args.log_level),
+            format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            force=True,
+        )
     return args.func(args)
 
 

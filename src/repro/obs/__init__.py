@@ -1,0 +1,66 @@
+"""repro.obs — the observability layer.
+
+Instrumented runs answer *why* a result looks the way it does: named
+counters, gauges, histograms and wall-clock phase timers
+(:mod:`repro.obs.instruments`) are recorded by the simulation
+components, exported through pluggable, registry-named formats
+(:mod:`repro.obs.exporters`: ``jsonl``, ``prometheus``, ``csv``), and
+archived with a provenance :class:`RunManifest`
+(:mod:`repro.obs.manifest`).  ``repro report DIR`` renders an archived
+directory back into tables (:mod:`repro.obs.report`).
+
+The package deliberately never imports :mod:`repro.sim` — the
+simulation state holds an ``instruments`` reference, so the dependency
+points one way.  The run-level glue lives in
+:func:`repro.sim.runner.run_with_telemetry`.
+
+Quickstart::
+
+    from repro import SimulationConfig
+    from repro.sim.runner import run_with_telemetry
+
+    summary, manifest = run_with_telemetry(
+        SimulationConfig.small(), "telemetry_out"
+    )
+    # telemetry_out/ now holds manifest.json, events.jsonl,
+    # metrics.jsonl, metrics.prom, series.csv, instruments.csv
+"""
+
+from .exporters import (
+    DEFAULT_EXPORTERS,
+    CsvExporter,
+    JsonlExporter,
+    PrometheusExporter,
+    TelemetryBundle,
+)
+from .instruments import (
+    NULL_INSTRUMENTS,
+    Counter,
+    Gauge,
+    Histogram,
+    Instruments,
+    NullInstruments,
+    PhaseTimer,
+)
+from .manifest import RunManifest, config_digest, git_revision
+from .report import format_report, load_report
+
+__all__ = [
+    "Counter",
+    "CsvExporter",
+    "DEFAULT_EXPORTERS",
+    "Gauge",
+    "Histogram",
+    "Instruments",
+    "JsonlExporter",
+    "NULL_INSTRUMENTS",
+    "NullInstruments",
+    "PhaseTimer",
+    "PrometheusExporter",
+    "RunManifest",
+    "TelemetryBundle",
+    "config_digest",
+    "format_report",
+    "git_revision",
+    "load_report",
+]

@@ -1,0 +1,201 @@
+"""Pluggable telemetry exporters, registered by name.
+
+An exporter turns one run's :class:`TelemetryBundle` — the instrument
+snapshot, the final summary, the configuration, and (optionally) the
+trace recorder — into files inside a telemetry directory.  Exporters
+register in :data:`repro.registry.EXPORTERS` exactly like schedulers
+register in ``SCHEDULERS``, so third parties can add formats without
+touching the runner or the CLI::
+
+    from repro.registry import EXPORTERS
+
+    @EXPORTERS.register("sqlite")
+    def _build():
+        return MySqliteExporter()
+
+Built-ins:
+
+* ``jsonl`` — ``events.jsonl`` (the trace's JSONL round-trip format)
+  plus ``metrics.jsonl`` (one JSON object per instrument);
+* ``prometheus`` — ``metrics.prom``, a Prometheus text-format snapshot;
+* ``csv`` — ``series.csv`` (long-format trace time series) and
+  ``instruments.csv``.
+
+This module never imports :mod:`repro.sim`; the trace is duck-typed
+(anything with ``events``, ``series`` and ``to_jsonl_lines()`` works),
+which keeps ``repro.obs`` importable from the simulation state without
+an import cycle.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..registry import EXPORTERS
+
+__all__ = [
+    "CsvExporter",
+    "JsonlExporter",
+    "PrometheusExporter",
+    "TelemetryBundle",
+    "DEFAULT_EXPORTERS",
+]
+
+#: The exporter names a telemetry run enables when none are requested.
+DEFAULT_EXPORTERS = ("jsonl", "prometheus", "csv")
+
+
+@dataclass
+class TelemetryBundle:
+    """Everything one run hands to its exporters.
+
+    Attributes:
+        instruments: an ``Instruments.snapshot()`` dict.
+        summary: the final ``SimulationSummary.as_dict()``.
+        config: the run's ``config_to_dict`` view.
+        trace: the run's ``TraceRecorder`` (or ``None`` when only
+            instruments were collected).
+    """
+
+    instruments: Dict[str, Any] = field(default_factory=dict)
+    summary: Dict[str, float] = field(default_factory=dict)
+    config: Dict[str, Any] = field(default_factory=dict)
+    trace: Optional[Any] = None
+
+
+def _prom_name(name: str) -> str:
+    """A dotted instrument name as a Prometheus metric name."""
+    safe = "".join(c if c.isalnum() else "_" for c in name)
+    return f"repro_{safe}"
+
+
+class JsonlExporter:
+    """``events.jsonl`` + ``metrics.jsonl``: the line-oriented formats.
+
+    ``events.jsonl`` is written by the trace recorder itself (one event
+    or series sample per line), so a telemetry directory and a saved
+    trace are the same format; ``metrics.jsonl`` holds one object per
+    instrument with a ``"instrument"`` kind tag.
+    """
+
+    def export(self, out_dir: Path, bundle: TelemetryBundle) -> List[Path]:
+        out_dir = Path(out_dir)
+        written: List[Path] = []
+        if bundle.trace is not None:
+            events = out_dir / "events.jsonl"
+            with open(events, "w") as f:
+                for line in bundle.trace.to_jsonl_lines():
+                    f.write(line + "\n")
+            written.append(events)
+        metrics = out_dir / "metrics.jsonl"
+        with open(metrics, "w") as f:
+            snap = bundle.instruments
+            for kind in ("counters", "gauges"):
+                for name, value in snap.get(kind, {}).items():
+                    f.write(json.dumps(
+                        {"instrument": kind[:-1], "name": name, "value": value}
+                    ) + "\n")
+            for kind in ("histograms", "timers"):
+                for name, summary in snap.get(kind, {}).items():
+                    f.write(json.dumps(
+                        {"instrument": kind[:-1], "name": name, **summary}
+                    ) + "\n")
+        written.append(metrics)
+        return written
+
+
+class PrometheusExporter:
+    """``metrics.prom``: a Prometheus text-format (0.0.4) snapshot.
+
+    Counters and gauges map directly; histograms and timers are exposed
+    as summaries (``_count`` / ``_sum``, timers in seconds).  The final
+    simulation summary rides along as ``repro_summary_*`` gauges so a
+    scrape of an archived run carries its headline figures.
+    """
+
+    def export(self, out_dir: Path, bundle: TelemetryBundle) -> List[Path]:
+        lines: List[str] = []
+        snap = bundle.instruments
+        for name, value in snap.get("counters", {}).items():
+            metric = _prom_name(name) + "_total"
+            lines += [f"# TYPE {metric} counter", f"{metric} {value:g}"]
+        for name, value in snap.get("gauges", {}).items():
+            metric = _prom_name(name)
+            lines += [f"# TYPE {metric} gauge", f"{metric} {value:g}"]
+        for name, summary in snap.get("histograms", {}).items():
+            metric = _prom_name(name)
+            lines += [
+                f"# TYPE {metric} summary",
+                f"{metric}_count {summary['count']:g}",
+                f"{metric}_sum {summary['total']:g}",
+            ]
+        for name, summary in snap.get("timers", {}).items():
+            metric = _prom_name(name) + "_seconds"
+            lines += [
+                f"# TYPE {metric} summary",
+                f"{metric}_count {summary['count']:g}",
+                f"{metric}_sum {summary['total_s']:g}",
+            ]
+        for key, value in bundle.summary.items():
+            metric = _prom_name(f"summary.{key}")
+            lines += [f"# TYPE {metric} gauge", f"{metric} {value:g}"]
+        path = Path(out_dir) / "metrics.prom"
+        path.write_text("\n".join(lines) + "\n")
+        return [path]
+
+
+class CsvExporter:
+    """``series.csv`` + ``instruments.csv``: spreadsheet-friendly views.
+
+    ``series.csv`` is the long-format dump of the trace's named time
+    series (``series,time_s,value``); ``instruments.csv`` flattens the
+    instrument snapshot to ``kind,name,field,value`` rows.
+    """
+
+    def export(self, out_dir: Path, bundle: TelemetryBundle) -> List[Path]:
+        out_dir = Path(out_dir)
+        written: List[Path] = []
+        if bundle.trace is not None:
+            series_path = out_dir / "series.csv"
+            with open(series_path, "w", newline="") as f:
+                writer = csv.writer(f)
+                writer.writerow(["series", "time_s", "value"])
+                for name, samples in bundle.trace.series.items():
+                    for t, v in samples:
+                        writer.writerow([name, repr(float(t)), repr(float(v))])
+            written.append(series_path)
+        inst_path = out_dir / "instruments.csv"
+        with open(inst_path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["kind", "name", "field", "value"])
+            snap = bundle.instruments
+            for kind in ("counters", "gauges"):
+                for name, value in snap.get(kind, {}).items():
+                    writer.writerow([kind[:-1], name, "value", repr(float(value))])
+            for kind in ("histograms", "timers"):
+                for name, summary in snap.get(kind, {}).items():
+                    for fieldname, value in summary.items():
+                        writer.writerow([kind[:-1], name, fieldname, repr(float(value))])
+        written.append(inst_path)
+        return written
+
+
+EXPORTERS.register(
+    "jsonl",
+    JsonlExporter,
+    doc="events.jsonl + metrics.jsonl (shared trace round-trip format).",
+)
+EXPORTERS.register(
+    "prometheus",
+    PrometheusExporter,
+    doc="metrics.prom: Prometheus text-format snapshot.",
+)
+EXPORTERS.register(
+    "csv",
+    CsvExporter,
+    doc="series.csv + instruments.csv time-series tables.",
+)

@@ -50,6 +50,7 @@ __all__ = [
     "CLUSTERINGS",
     "ComponentSpec",
     "ERC_POLICIES",
+    "EXPORTERS",
     "MOBILITY_MODELS",
     "Registry",
     "SCHEDULERS",
@@ -202,6 +203,12 @@ CLUSTERINGS = Registry("clustering algorithm")
 
 #: Target mobility models; factories take ``field``, ``config``, ``rng``.
 MOBILITY_MODELS = Registry("target mobility model")
+
+#: Telemetry exporters; factories take no arguments and return objects
+#: with ``export(out_dir, bundle) -> List[Path]``.  The built-ins
+#: (``jsonl``, ``prometheus``, ``csv``) register on import of
+#: :mod:`repro.obs.exporters` (pulled in by the ``repro`` package).
+EXPORTERS = Registry("telemetry exporter")
 
 
 def erc_policy_name(adaptive_erp: bool) -> str:

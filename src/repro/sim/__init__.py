@@ -10,7 +10,13 @@ from .components import (
 from .config import DAY_S, HOUR_S, SimulationConfig
 from .engine import EventHandle, Simulator
 from .metrics import MetricsCollector, SimulationSummary
-from .runner import average_summaries, make_scheduler, run_seeds, run_simulation
+from .runner import (
+    average_summaries,
+    make_scheduler,
+    run_seeds,
+    run_simulation,
+    run_with_telemetry,
+)
 from .trace import EventKind, NullRecorder, TraceEvent, TraceRecorder
 from .world import World
 
@@ -36,4 +42,5 @@ __all__ = [
     "make_scheduler",
     "run_seeds",
     "run_simulation",
+    "run_with_telemetry",
 ]

@@ -10,6 +10,8 @@ published on the shared :class:`~repro.sim.components.state.SimulationState`.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from ...core.clustering import Cluster, ClusterSet
@@ -19,6 +21,8 @@ from ..trace import EventKind
 from .state import SimulationState
 
 __all__ = ["ClusterManager"]
+
+logger = logging.getLogger(__name__)
 
 
 class ClusterManager:
@@ -30,10 +34,18 @@ class ClusterManager:
         self._cluster_fn = CLUSTERINGS.get(
             getattr(state.cfg, "clustering", "balanced")
         )
+        obs = state.instruments
+        self._t_rebuild = obs.timer("clusters.rebuild")
+        self._c_relocations = obs.counter("clusters.relocations")
+        self._c_handoffs = obs.counter("clusters.handoffs")
         self.rebuild()
 
     def rebuild(self) -> None:
         """Re-form clusters over the alive sensors for the current targets."""
+        with self._t_rebuild:
+            self._rebuild()
+
+    def _rebuild(self) -> None:
         s = self.s
         # A target is *coverable* if any deployed sensor (alive or not)
         # could see it: the coverage-ratio metric is normalized against
@@ -55,6 +67,8 @@ class ClusterManager:
         """Move targets to their next epoch and rebuild the clusters."""
         s = self.s
         s.targets.relocate()
+        logger.debug("t=%.0fs: targets relocated (epoch %d)", s.now, s.targets.epoch)
+        self._c_relocations.inc()
         if s.trace.enabled:
             s.trace.emit(s.now, EventKind.TARGETS_RELOCATED, s.targets.epoch)
         self.rebuild()
@@ -68,6 +82,8 @@ class ClusterManager:
         """
         s = self.s
         handoffs = s.activator.rotate(s.bank.alive_mask())
-        if len(handoffs) and s.trace.enabled:
-            s.trace.emit(s.now, EventKind.ROTATION, -1, float(len(handoffs)))
+        if len(handoffs):
+            self._c_handoffs.inc(len(handoffs))
+            if s.trace.enabled:
+                s.trace.emit(s.now, EventKind.ROTATION, -1, float(len(handoffs)))
         return handoffs

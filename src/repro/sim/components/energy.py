@@ -18,6 +18,7 @@ bookkeeping ticks, so a 120-day horizon costs a few hundred events.
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Dict, Optional
 
 import numpy as np
@@ -26,6 +27,8 @@ from ..trace import EventKind
 from .state import SimulationState
 
 __all__ = ["EnergyAccounting"]
+
+logger = logging.getLogger(__name__)
 
 
 class EnergyAccounting:
@@ -58,6 +61,10 @@ class EnergyAccounting:
             "leakage": 0.0,
             "notifications": 0.0,
         }
+        obs = state.instruments
+        self._t_recompute = obs.timer("energy.recompute")
+        self._t_advance = obs.timer("energy.advance")
+        self._c_depletions = obs.counter("energy.depletions")
         self.recompute()
 
     # ------------------------------------------------------------------
@@ -68,6 +75,10 @@ class EnergyAccounting:
         Also keeps the per-category totals (idle / sensing / relay /
         leakage, in Watts) used by :meth:`breakdown`.
         """
+        with self._t_recompute:
+            self._recompute()
+
+    def _recompute(self) -> None:
         s = self.s
         power = s.power
         alive = s.bank.alive_mask()
@@ -118,20 +129,28 @@ class EnergyAccounting:
         s = self.s
         dt = s.now - self._last_t
         if dt > 0:
-            was_alive = s.bank.alive_mask()
-            s.bank.drain_rates(self.rates, dt)
-            for cat, watts in self._category_watts.items():
-                self.breakdown_j[cat] += watts * dt
-            self._last_t = s.now
-            died = was_alive & ~s.bank.alive_mask()
-            if np.any(died):
-                if s.trace.enabled:
-                    for v in np.flatnonzero(died):
-                        s.trace.emit(s.now, EventKind.SENSOR_DEPLETED, int(v))
-                if self.on_deaths is not None:
-                    self.on_deaths(int(np.count_nonzero(died)))
-                # Depleted sensors stop sensing and relaying.
-                self.recompute()
+            with self._t_advance:
+                self._advance(dt)
+
+    def _advance(self, dt: float) -> None:
+        s = self.s
+        was_alive = s.bank.alive_mask()
+        s.bank.drain_rates(self.rates, dt)
+        for cat, watts in self._category_watts.items():
+            self.breakdown_j[cat] += watts * dt
+        self._last_t = s.now
+        died = was_alive & ~s.bank.alive_mask()
+        if np.any(died):
+            n_died = int(np.count_nonzero(died))
+            logger.debug("t=%.0fs: %d sensor(s) depleted", s.now, n_died)
+            self._c_depletions.inc(n_died)
+            if s.trace.enabled:
+                for v in np.flatnonzero(died):
+                    s.trace.emit(s.now, EventKind.SENSOR_DEPLETED, int(v))
+            if self.on_deaths is not None:
+                self.on_deaths(n_died)
+            # Depleted sensors stop sensing and relaying.
+            self.recompute()
 
     def apply_handoffs(self, handoffs: np.ndarray) -> None:
         """Charge rotation notifications: TX to the retiring sensor,

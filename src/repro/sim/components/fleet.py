@@ -12,6 +12,7 @@ unassigned while work remains.
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -24,6 +25,8 @@ from .gate import RequestGate
 from .state import PRIO_RV, SimulationState
 
 __all__ = ["FleetController"]
+
+logger = logging.getLogger(__name__)
 
 
 class FleetController:
@@ -64,6 +67,19 @@ class FleetController:
             for i in range(cfg.n_rvs)
         ]
         self.returning = np.zeros(cfg.n_rvs, dtype=bool)
+        obs = state.instruments
+        self._t_dispatch = obs.timer("fleet.dispatch")
+        self._t_assign = obs.timer("scheduler.assign")
+        self._c_rounds = obs.counter("fleet.dispatch_rounds")
+        self._c_sorties = obs.counter("fleet.sorties")
+        self._c_legs = obs.counter("fleet.legs")
+        self._c_depot_returns = obs.counter("fleet.depot_returns")
+        self._h_sortie_stops = obs.histogram("fleet.sortie_stops")
+        self._h_delivered = obs.histogram("fleet.delivered_j")
+        self._rv_sorties = [obs.counter(f"fleet.rv{i}.sorties") for i in range(cfg.n_rvs)]
+        self._rv_delivered = [
+            obs.counter(f"fleet.rv{i}.delivered_j") for i in range(cfg.n_rvs)
+        ]
 
     # ------------------------------------------------------------------
     # dispatch
@@ -95,13 +111,27 @@ class FleetController:
         views = self.idle_views()
         if not views:
             return
+        with self._t_dispatch:
+            self._dispatch(views)
+
+    def _dispatch(self, views: List[RVView]) -> None:
+        s = self.s
+        self._c_rounds.inc()
         observe = getattr(self.scheduler, "observe_time", None)
         if observe is not None:
             observe(s.now)
-        plans = self.scheduler.assign(s.requests, views, s.rng)
+        with self._t_assign:
+            plans = self.scheduler.assign(s.requests, views, s.rng)
+        logger.debug(
+            "t=%.0fs: dispatch round, %d request(s), %d idle RV(s), %d sortie(s)",
+            s.now, len(s.requests), len(views), len(plans),
+        )
         for rv_id, plan in plans.items():
             rv = self.rvs[rv_id]
             rv.begin_sortie(list(plan.node_ids))
+            self._c_sorties.inc()
+            self._rv_sorties[rv_id].inc()
+            self._h_sortie_stops.observe(len(plan))
             if s.trace.enabled:
                 s.trace.emit(s.now, EventKind.SORTIE_ASSIGNED, rv_id, float(len(plan)))
             self._next_leg(rv)
@@ -133,6 +163,7 @@ class FleetController:
         s = self.s
         self.energy.advance()
         rv.return_to_depot()
+        self._c_depot_returns.inc()
         if s.trace.enabled:
             s.trace.emit(s.now, EventKind.RV_RETURNED_HOME, rv.rv_id)
         if s.cfg.rv_depot_dwell_s > 0:
@@ -169,6 +200,7 @@ class FleetController:
         self.energy.advance()
         node = rv.itinerary.pop(0)
         rv.move_to(s.sensor_pos[node])
+        self._c_legs.inc()
         if s.trace.enabled:
             s.trace.emit(s.now, EventKind.RV_ARRIVED, rv.rv_id, float(node))
         demand = float(s.bank.demands_j[node])
@@ -189,6 +221,8 @@ class FleetController:
             if was_depleted:
                 s.trace.emit(s.now, EventKind.SENSOR_REVIVED, int(node))
         rv.deliver(delivered, s.cfg.charge_model.efficiency)
+        self._h_delivered.observe(delivered)
+        self._rv_delivered[rv.rv_id].inc(delivered)
         self.gate.mark_recharged(node)
         # A refilled node may have been depleted: rates and coverage change.
         self.energy.recompute()

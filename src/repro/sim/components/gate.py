@@ -11,6 +11,8 @@ system never touches the ERC object directly.
 
 from __future__ import annotations
 
+import logging
+
 from ...core.erc import EnergyRequestController
 from ...core.requests import RechargeRequest
 from ...registry import ERC_POLICIES, erc_policy_name
@@ -18,6 +20,8 @@ from ..trace import EventKind
 from .state import SimulationState
 
 __all__ = ["RequestGate"]
+
+logger = logging.getLogger(__name__)
 
 
 class RequestGate:
@@ -39,6 +43,11 @@ class RequestGate:
                 erc_policy_name(state.cfg.adaptive_erp), config=state.cfg
             )
         self.erc = erc
+        obs = state.instruments
+        self._t_check = obs.timer("gate.check")
+        self._c_released = obs.counter("gate.requests_released")
+        self._c_recharges = obs.counter("gate.recharges")
+        self._g_backlog = obs.gauge("gate.backlog")
 
     @property
     def requests(self):
@@ -52,6 +61,10 @@ class RequestGate:
 
     def check(self) -> bool:
         """Run the ERC gate; returns True if anything was released."""
+        with self._t_check:
+            return self._check()
+
+    def _check(self) -> bool:
         s = self.s
         below = s.bank.below_threshold_mask()
         to_release = self.erc.nodes_to_release(s.cluster_set, below, s.requested)
@@ -74,6 +87,13 @@ class RequestGate:
                     int(node),
                     float(s.bank.demands_j[node]),
                 )
+        if to_release:
+            logger.debug(
+                "t=%.0fs: ERC released %d request(s), backlog %d",
+                s.now, len(to_release), len(s.requests),
+            )
+            self._c_released.inc(len(to_release))
+        self._g_backlog.set(len(s.requests))
         return bool(to_release)
 
     def mark_recharged(self, node: int) -> None:
@@ -81,6 +101,8 @@ class RequestGate:
         self.s.requested[node] = False
         self.s.requests.remove(node)  # in case it was still listed
         self.s.metrics.note_recharge(node, self.s.now)
+        self._c_recharges.inc()
+        self._g_backlog.set(len(self.s.requests))
 
     def note_deaths(self, count: int) -> None:
         """Forward sensor depletions to policies that adapt on them."""

@@ -31,6 +31,7 @@ from ...geometry.field import Field
 from ...network.linkquality import apply_etx_metric, prr_from_distance
 from ...network.routing import RoutingTree
 from ...network.topology import Topology
+from ...obs.instruments import NULL_INSTRUMENTS
 from ...registry import MOBILITY_MODELS
 from ..config import SimulationConfig
 from ..engine import Simulator
@@ -80,10 +81,14 @@ class SimulationState:
     # -- request backlog (maintained by RequestGate) -----------------
     requests: RechargeNodeList = field(default_factory=RechargeNodeList)
     requested: np.ndarray = None  # type: ignore[assignment]
+    # -- observability (NULL_INSTRUMENTS = zero-overhead no-op) ------
+    instruments: object = NULL_INSTRUMENTS
 
     def __post_init__(self) -> None:
         if self.requested is None:
             self.requested = np.zeros(self.cfg.n_sensors, dtype=bool)
+        if self.instruments is None:
+            self.instruments = NULL_INSTRUMENTS
 
     @property
     def now(self) -> float:
@@ -92,7 +97,7 @@ class SimulationState:
 
     @classmethod
     def from_config(
-        cls, config: SimulationConfig, trace=None
+        cls, config: SimulationConfig, trace=None, instruments=None
     ) -> "SimulationState":
         """Deploy sensors, build the static network and the targets.
 
@@ -155,4 +160,5 @@ class SimulationState:
             uplink_etx=uplink_etx,
             traffic_order=traffic_order,
             targets=targets,
+            instruments=instruments if instruments is not None else NULL_INSTRUMENTS,
         )

@@ -9,19 +9,33 @@ cross process boundaries for free.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
-from typing import Dict, Iterable, List, Optional, Sequence
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.scheduling import Scheduler
-from ..registry import SCHEDULERS
+from ..obs import DEFAULT_EXPORTERS, Instruments, RunManifest, TelemetryBundle
+from ..registry import EXPORTERS, SCHEDULERS
 from .config import SimulationConfig
 from .metrics import SimulationSummary
+from .serialization import config_to_dict
+from .trace import TraceRecorder
 from .world import World
 
-__all__ = ["make_scheduler", "run_simulation", "run_seeds", "average_summaries"]
+__all__ = [
+    "make_scheduler",
+    "run_simulation",
+    "run_seeds",
+    "run_with_telemetry",
+    "average_summaries",
+]
+
+logger = logging.getLogger(__name__)
 
 
 def make_scheduler(name: str, fleet_size: int) -> Scheduler:
@@ -83,6 +97,65 @@ def run_seeds(
     method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
     with multiprocessing.get_context(method).Pool(min(n_procs, len(configs))) as pool:
         return pool.map(run_simulation, configs)
+
+
+def run_with_telemetry(
+    config: SimulationConfig,
+    out_dir: Union[str, Path],
+    exporters: Optional[Sequence[str]] = None,
+) -> Tuple[SimulationSummary, RunManifest]:
+    """Run one simulation with full telemetry archived to ``out_dir``.
+
+    The run is wired with a :class:`~repro.sim.trace.TraceRecorder` and
+    an :class:`~repro.obs.Instruments` registry, then every requested
+    exporter (names from :data:`repro.registry.EXPORTERS`; all three
+    built-ins by default) writes its files into ``out_dir``, and a
+    ``manifest.json`` (:class:`~repro.obs.RunManifest`: config digest,
+    seed, version, git revision, wall time, instrument snapshot, file
+    index) is written last so a complete directory always has one.
+
+    Telemetry never touches the trajectory: the summary returned here
+    is bit-identical to ``run_simulation(config)``.
+
+    Returns:
+        ``(summary, manifest)``.
+    """
+    names = list(exporters) if exporters is not None else list(DEFAULT_EXPORTERS)
+    for name in names:
+        EXPORTERS.check(name)
+    instruments = Instruments()
+    trace = TraceRecorder()
+    wall0 = time.perf_counter()
+    world = World(config, trace=trace, instruments=instruments)
+    summary = world.run()
+    wall_time_s = time.perf_counter() - wall0
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    bundle = TelemetryBundle(
+        instruments=instruments.snapshot(),
+        summary=summary.as_dict(),
+        config=config_to_dict(config),
+        trace=trace,
+    )
+    files: Dict[str, List[str]] = {}
+    for name in names:
+        written = EXPORTERS.build(name).export(out, bundle)
+        files[name] = [p.name for p in written]
+    manifest = RunManifest.create(
+        config=bundle.config,
+        seed=config.seed,
+        wall_time_s=wall_time_s,
+        summary=bundle.summary,
+        instruments=bundle.instruments,
+        exporters=names,
+        files=files,
+    )
+    manifest.write(out)
+    logger.info(
+        "telemetry archived to %s (%d exporter(s), %.3fs simulated wall time)",
+        out, len(names), wall_time_s,
+    )
+    return summary, manifest
 
 
 def average_summaries(summaries: Iterable[SimulationSummary]) -> Dict[str, float]:

@@ -13,9 +13,11 @@ no-op recorder keeps the hot path free of bookkeeping.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterator, List, Tuple
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple, Union
 
 import numpy as np
 
@@ -105,10 +107,12 @@ class TraceRecorder:
     def series_arrays(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
         """A named series as ``(times, values)`` arrays.
 
-        Raises:
-            KeyError: if the series was never sampled.
+        A series that was never sampled behaves exactly like one that
+        was created empty: both return a pair of empty arrays (no
+        ``KeyError``), so plotting/analysis code never has to special-
+        case "no data yet".
         """
-        samples = self.series[name]
+        samples = self.series.get(name, ())
         arr = np.asarray(samples, dtype=np.float64)
         if arr.size == 0:
             return np.empty(0), np.empty(0)
@@ -139,3 +143,74 @@ class TraceRecorder:
         for e in self.events:
             out[e.kind.value] = out.get(e.kind.value, 0) + 1
         return out
+
+    # ------------------------------------------------------------------
+    # JSONL round trip (the on-disk format shared with repro.obs)
+    # ------------------------------------------------------------------
+
+    def to_jsonl_lines(self) -> Iterator[str]:
+        """The trace as JSONL lines: events first, then series samples.
+
+        Each line is one JSON object tagged ``"type": "event"`` or
+        ``"type": "sample"`` — the same format the telemetry ``jsonl``
+        exporter writes, so traces and telemetry share one on-disk
+        representation.  :meth:`read_jsonl` inverts it exactly.
+        """
+        for e in self.events:
+            yield json.dumps(
+                {
+                    "type": "event",
+                    "t": e.time_s,
+                    "kind": e.kind.value,
+                    "subject": e.subject,
+                    "value": e.value,
+                }
+            )
+        for name, samples in self.series.items():
+            for t, v in samples:
+                yield json.dumps(
+                    {"type": "sample", "t": t, "series": name, "value": v}
+                )
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        """Serialize the trace to a JSONL file; returns the path."""
+        path = Path(path)
+        with open(path, "w") as f:
+            for line in self.to_jsonl_lines():
+                f.write(line + "\n")
+        return path
+
+    @classmethod
+    def read_jsonl(cls, path: Union[str, Path]) -> "TraceRecorder":
+        """Rebuild a recorder from :meth:`write_jsonl` output.
+
+        Round-trips exactly: event order, series sample order and all
+        numeric payloads are preserved.  Lines with an unknown ``type``
+        raise ``ValueError``.
+        """
+        recorder = cls()
+        with open(path) as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                rtype = record.get("type")
+                if rtype == "event":
+                    recorder.events.append(
+                        TraceEvent(
+                            time_s=float(record["t"]),
+                            kind=EventKind(record["kind"]),
+                            subject=int(record.get("subject", -1)),
+                            value=float(record.get("value", 0.0)),
+                        )
+                    )
+                elif rtype == "sample":
+                    recorder.sample_series(
+                        float(record["t"]), record["series"], float(record["value"])
+                    )
+                else:
+                    raise ValueError(
+                        f"{path}:{lineno}: unknown trace record type {rtype!r}"
+                    )
+        return recorder

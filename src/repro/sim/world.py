@@ -39,10 +39,12 @@ class World:
 
     ``scheduler`` defaults to the one named by ``config.scheduler``
     (built from :data:`repro.registry.SCHEDULERS`); a ``trace``
-    recorder, when given, captures every semantic event and sample.
-    The wired components are exposed as ``world.energy``,
-    ``world.clusters``, ``world.gate`` and ``world.fleet``; the shared
-    state as ``world.state``.
+    recorder, when given, captures every semantic event and sample, and
+    an ``instruments`` registry (:class:`repro.obs.Instruments`)
+    collects counters and phase timers from every component.  The wired
+    components are exposed as ``world.energy``, ``world.clusters``,
+    ``world.gate`` and ``world.fleet``; the shared state as
+    ``world.state``.
     """
 
     def __init__(
@@ -50,9 +52,12 @@ class World:
         config: SimulationConfig,
         scheduler: Optional[Scheduler] = None,
         trace=None,
+        instruments=None,
     ) -> None:
         self.cfg = config
-        self.state = SimulationState.from_config(config, trace=trace)
+        self.state = SimulationState.from_config(
+            config, trace=trace, instruments=instruments
+        )
         self.clusters = ClusterManager(self.state)
         if scheduler is None:
             scheduler = SCHEDULERS.build(config.scheduler, fleet_size=config.n_rvs)
@@ -120,8 +125,9 @@ class World:
 
     def run(self) -> SimulationSummary:
         """Run to the configured horizon and return the summary."""
-        self.sim.run_until(self.cfg.sim_time_s)
-        self.energy.advance()
+        with self.state.instruments.timer("world.run"):
+            self.sim.run_until(self.cfg.sim_time_s)
+            self.energy.advance()
         books = self.fleet.totals()
         return self.state.metrics.finalize(
             t_end=self.cfg.sim_time_s,
@@ -184,6 +190,7 @@ class World:
 # names keep the pre-split white-box tests and tooling working.
 _FORWARDED = {
     "sim": "state.sim", "rng": "state.rng", "trace": "state.trace",
+    "instruments": "state.instruments",
     "field": "state.field", "power": "state.power",
     "sensor_pos": "state.sensor_pos", "bank": "state.bank",
     "topology": "state.topology", "routing": "state.routing",

@@ -1,9 +1,11 @@
 """Tests for the command-line interface and serialization."""
 
 import json
+import logging
 
 import pytest
 
+from repro import __version__
 from repro.cli import build_parser, main
 from repro.sim.config import SimulationConfig
 from repro.sim.serialization import config_from_dict, config_to_dict
@@ -43,6 +45,16 @@ class TestParser:
         )
         assert args.preset == "small"
         assert args.erp == 0.5
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_log_level_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--log-level", "LOUD", "run"])
 
 
 class TestCommands:
@@ -89,3 +101,56 @@ class TestCommands:
     def test_figure_unknown_id(self, capsys):
         rc = main(["figure", "9z"])
         assert rc == 2
+
+    def test_log_level_configures_logging(self, capsys):
+        root = logging.getLogger()
+        before_level, before_handlers = root.level, list(root.handlers)
+        try:
+            rc = main(["--log-level", "DEBUG", "estimate", "--preset", "small"])
+            assert rc == 0
+            assert root.level == logging.DEBUG
+        finally:
+            root.level = before_level
+            for h in list(root.handlers):
+                if h not in before_handlers:
+                    root.removeHandler(h)
+
+
+class TestTelemetryCommands:
+    def test_run_telemetry_and_report(self, tmp_path, capsys):
+        out = tmp_path / "tele"
+        rc = main(["run", "--preset", "small", "--days", "0.2", "--seed", "1",
+                   "--telemetry", str(out)])
+        assert rc == 0
+        assert "telemetry written to" in capsys.readouterr().out
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["seed"] == 1
+        for line in (out / "events.jsonl").read_text().splitlines():
+            assert json.loads(line)["type"] in ("event", "sample")
+
+        rc = main(["report", str(out)])
+        assert rc == 0
+        report = capsys.readouterr().out
+        assert "Telemetry report" in report
+        assert "Phase timings" in report
+
+    def test_run_telemetry_exporter_subset(self, tmp_path, capsys):
+        out = tmp_path / "tele"
+        rc = main(["run", "--preset", "small", "--days", "0.2", "--json",
+                   "--telemetry", str(out), "--exporters", "prometheus"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["telemetry_dir"] == str(out)
+        assert (out / "metrics.prom").is_file()
+        assert not (out / "events.jsonl").exists()
+
+    def test_report_missing_dir_is_error(self, tmp_path, capsys):
+        rc = main(["report", str(tmp_path / "nothing")])
+        assert rc == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_run_profile_prints_hotspots(self, capsys):
+        rc = main(["run", "--preset", "small", "--days", "0.1", "--seed", "2",
+                   "--profile", "--profile-top", "5"])
+        assert rc == 0
+        assert "cProfile" in capsys.readouterr().out

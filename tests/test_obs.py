@@ -1,0 +1,359 @@
+"""Tests for the repro.obs telemetry layer.
+
+Covers the instrument registry (live and null), the built-in exporters,
+the run manifest, the telemetry runner glue, and the report renderer.
+"""
+
+import csv
+import json
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instruments,
+    NULL_INSTRUMENTS,
+    NullInstruments,
+    PhaseTimer,
+    RunManifest,
+    TelemetryBundle,
+    config_digest,
+    git_revision,
+)
+from repro.obs.report import format_report, load_report
+from repro.registry import EXPORTERS
+from repro.sim.config import DAY_S, SimulationConfig
+from repro.sim.runner import run_simulation, run_with_telemetry
+from repro.sim.trace import EventKind, TraceRecorder
+
+TINY = dict(
+    n_sensors=40,
+    n_targets=3,
+    n_rvs=1,
+    side_length_m=60.0,
+    sim_time_s=0.25 * DAY_S,
+    battery_capacity_j=400.0,
+    initial_charge_range=(0.5, 0.8),
+    dispatch_period_s=1800.0,
+    seed=42,
+)
+
+
+def tiny_config(**overrides):
+    params = dict(TINY)
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_gauge(self):
+        g = Gauge("x")
+        g.set(7)
+        assert g.value == 7.0
+        g.set(3.0)
+        assert g.value == 3.0
+
+    def test_histogram_summary(self):
+        h = Histogram("x")
+        assert h.summary() == {"count": 0, "total": 0.0, "min": 0.0,
+                               "max": 0.0, "mean": 0.0}
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["min"] == 1.0 and s["max"] == 3.0
+        assert s["mean"] == pytest.approx(2.0)
+
+    def test_timer_records_durations(self):
+        t = PhaseTimer("x")
+        with t:
+            pass
+        with t:
+            pass
+        assert t.count == 2
+        assert t.total >= 0.0
+        assert t.min <= t.max
+
+    def test_timer_reentrant(self):
+        t = PhaseTimer("x")
+        with t:
+            with t:
+                pass
+        assert t.count == 2
+
+    def test_get_or_create_identity(self):
+        obs = Instruments()
+        assert obs.counter("a") is obs.counter("a")
+        assert obs.timer("t") is obs.timer("t")
+        assert obs.names() == ["a", "t"]
+
+    def test_kind_mismatch_raises(self):
+        obs = Instruments()
+        obs.counter("a")
+        with pytest.raises(ValueError, match="Counter"):
+            obs.gauge("a")
+        # PhaseTimer subclasses Histogram but the binding is exact.
+        obs.timer("t")
+        with pytest.raises(ValueError):
+            obs.histogram("t")
+
+    def test_snapshot_groups_by_kind(self):
+        obs = Instruments()
+        obs.counter("c").inc(4)
+        obs.gauge("g").set(2.5)
+        obs.histogram("h").observe(1.0)
+        with obs.timer("t"):
+            pass
+        snap = obs.snapshot()
+        assert snap["counters"] == {"c": 4.0}
+        assert snap["gauges"] == {"g": 2.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        timer = snap["timers"]["t"]
+        assert set(timer) == {"count", "total_s", "min_s", "max_s", "mean_s"}
+        assert timer["count"] == 1
+
+    def test_snapshot_json_safe(self):
+        obs = Instruments()
+        obs.counter("c").inc()
+        json.dumps(obs.snapshot())  # must not raise
+
+
+class TestNullInstruments:
+    def test_shared_singletons(self):
+        null = NullInstruments()
+        assert null.counter("a") is null.counter("b")
+        assert null.timer("a") is NULL_INSTRUMENTS.timer("z")
+        assert not null.enabled
+
+    def test_everything_is_noop(self):
+        null = NULL_INSTRUMENTS
+        null.counter("c").inc(5)
+        null.gauge("g").set(9)
+        null.histogram("h").observe(1.0)
+        with null.timer("t"):
+            pass
+        assert null.names() == []
+        assert null.snapshot() == {"counters": {}, "gauges": {},
+                                   "histograms": {}, "timers": {}}
+
+
+def sample_bundle():
+    obs = Instruments()
+    obs.counter("fleet.sorties").inc(3)
+    obs.gauge("gate.backlog").set(2)
+    obs.histogram("fleet.delivered_j").observe(120.0)
+    with obs.timer("energy.recompute"):
+        pass
+    trace = TraceRecorder()
+    trace.emit(1.0, EventKind.NODE_RECHARGED, 4, 80.0)
+    trace.sample_series(0.0, "coverage", 0.9)
+    trace.sample_series(5.0, "coverage", 0.8)
+    return TelemetryBundle(
+        instruments=obs.snapshot(),
+        summary={"traveling_energy_j": 42.0},
+        config={"seed": 1},
+        trace=trace,
+    )
+
+
+class TestExporters:
+    def test_builtins_registered(self):
+        for name in ("jsonl", "prometheus", "csv"):
+            assert name in EXPORTERS
+
+    def test_jsonl_exporter(self, tmp_path):
+        written = EXPORTERS.build("jsonl").export(tmp_path, sample_bundle())
+        names = {p.name for p in written}
+        assert names == {"events.jsonl", "metrics.jsonl"}
+        metric_lines = [json.loads(line) for line in
+                        (tmp_path / "metrics.jsonl").read_text().splitlines()]
+        kinds = {r["instrument"] for r in metric_lines}
+        assert kinds == {"counter", "gauge", "histogram", "timer"}
+        by_name = {r["name"]: r for r in metric_lines}
+        assert by_name["fleet.sorties"]["value"] == 3.0
+
+    def test_jsonl_events_round_trip(self, tmp_path):
+        bundle = sample_bundle()
+        EXPORTERS.build("jsonl").export(tmp_path, bundle)
+        back = TraceRecorder.read_jsonl(tmp_path / "events.jsonl")
+        assert back.events == bundle.trace.events
+        assert back.series == bundle.trace.series
+
+    def test_jsonl_without_trace(self, tmp_path):
+        bundle = sample_bundle()
+        bundle.trace = None
+        written = EXPORTERS.build("jsonl").export(tmp_path, bundle)
+        assert {p.name for p in written} == {"metrics.jsonl"}
+
+    def test_prometheus_exporter(self, tmp_path):
+        EXPORTERS.build("prometheus").export(tmp_path, sample_bundle())
+        text = (tmp_path / "metrics.prom").read_text()
+        assert "# TYPE repro_fleet_sorties_total counter" in text
+        assert "repro_fleet_sorties_total 3" in text
+        assert "repro_gate_backlog 2" in text
+        assert "repro_energy_recompute_seconds_count 1" in text
+        assert "repro_summary_traveling_energy_j 42" in text
+        # every non-comment line is "name value"
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                name, value = line.split()
+                float(value)
+
+    def test_csv_exporter(self, tmp_path):
+        EXPORTERS.build("csv").export(tmp_path, sample_bundle())
+        with open(tmp_path / "series.csv", newline="") as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["series", "time_s", "value"]
+        assert ["coverage", "0.0", "0.9"] in rows
+        with open(tmp_path / "instruments.csv", newline="") as f:
+            inst = list(csv.reader(f))
+        assert inst[0] == ["kind", "name", "field", "value"]
+        assert ["counter", "fleet.sorties", "value", "3.0"] in inst
+
+    def test_custom_exporter_pluggable(self, tmp_path):
+        class OneFile:
+            def export(self, out_dir, bundle):
+                p = out_dir / "one.txt"
+                p.write_text(str(len(bundle.summary)))
+                return [p]
+
+        EXPORTERS.register("test-onefile", OneFile)
+        try:
+            _, manifest = run_with_telemetry(
+                tiny_config(sim_time_s=0.05 * DAY_S), tmp_path,
+                exporters=["test-onefile"],
+            )
+            assert manifest.files == {"test-onefile": ["one.txt"]}
+            assert (tmp_path / "one.txt").is_file()
+        finally:
+            EXPORTERS.unregister("test-onefile")
+
+
+class TestManifest:
+    def test_config_digest_order_independent(self):
+        a = {"x": 1, "y": [1, 2]}
+        b = {"y": [1, 2], "x": 1}
+        assert config_digest(a) == config_digest(b)
+        assert config_digest(a) != config_digest({"x": 2, "y": [1, 2]})
+        assert len(config_digest(a)) == 64
+
+    def test_git_revision_in_repo(self):
+        rev = git_revision(__file__)
+        if rev is not None:
+            assert len(rev) == 40
+            int(rev, 16)
+
+    def test_git_revision_outside_repo(self, tmp_path):
+        assert git_revision(tmp_path) is None
+
+    def test_round_trip(self):
+        m = RunManifest.create(config={"seed": 3}, seed=3, wall_time_s=1.5,
+                               summary={"m": 1.0}, exporters=["jsonl"])
+        back = RunManifest.from_dict(m.as_dict())
+        assert back == m
+
+    def test_from_dict_ignores_unknown_keys(self):
+        m = RunManifest.create(config={}, seed=0, wall_time_s=0.0)
+        data = m.as_dict()
+        data["future_field"] = "whatever"
+        assert RunManifest.from_dict(data) == m
+
+    def test_write_load_directory_convention(self, tmp_path):
+        m = RunManifest.create(config={"seed": 1}, seed=1, wall_time_s=0.1)
+        path = m.write(tmp_path)
+        assert path.name == "manifest.json"
+        assert RunManifest.load(tmp_path) == m
+        assert RunManifest.load(path) == m
+
+
+class TestRunWithTelemetry:
+    @pytest.fixture(scope="class")
+    def run_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("telemetry")
+        summary, manifest = run_with_telemetry(tiny_config(), out)
+        return out, summary, manifest
+
+    def test_all_files_written(self, run_dir):
+        out, _, manifest = run_dir
+        expected = {"manifest.json", "events.jsonl", "metrics.jsonl",
+                    "metrics.prom", "series.csv", "instruments.csv"}
+        assert expected <= {p.name for p in out.iterdir()}
+        assert manifest.exporters == ["jsonl", "prometheus", "csv"]
+        for names in manifest.files.values():
+            for name in names:
+                assert (out / name).is_file()
+
+    def test_manifest_provenance(self, run_dir):
+        out, _, manifest = run_dir
+        loaded = RunManifest.load(out)
+        assert loaded.config_digest == manifest.config_digest
+        assert loaded.seed == TINY["seed"]
+        assert loaded.wall_time_s > 0
+        assert loaded.config["n_sensors"] == TINY["n_sensors"]
+
+    def test_phase_timers_cover_all_components(self, run_dir):
+        _, _, manifest = run_dir
+        timers = manifest.instruments["timers"]
+        for name in ("energy.recompute", "energy.advance", "clusters.rebuild",
+                     "gate.check", "fleet.dispatch", "scheduler.assign",
+                     "world.run"):
+            assert name in timers, name
+            assert timers[name]["count"] >= 1
+
+    def test_summary_bit_identical_to_plain_run(self, run_dir):
+        _, summary, _ = run_dir
+        plain = run_simulation(tiny_config())
+        assert summary.as_dict() == plain.as_dict()
+
+    def test_events_jsonl_parses(self, run_dir):
+        out, _, _ = run_dir
+        back = TraceRecorder.read_jsonl(out / "events.jsonl")
+        assert len(back.events) > 0
+        assert "coverage" in back.series
+
+    def test_exporter_subset(self, tmp_path):
+        _, manifest = run_with_telemetry(
+            tiny_config(sim_time_s=0.05 * DAY_S), tmp_path,
+            exporters=["prometheus"],
+        )
+        assert manifest.exporters == ["prometheus"]
+        assert (tmp_path / "metrics.prom").is_file()
+        assert not (tmp_path / "events.jsonl").exists()
+
+    def test_unknown_exporter_rejected_before_running(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown telemetry exporter"):
+            run_with_telemetry(tiny_config(), tmp_path, exporters=["nope"])
+        assert not (tmp_path / "manifest.json").exists()
+
+
+class TestReport:
+    def test_load_and_format(self, tmp_path):
+        run_with_telemetry(tiny_config(sim_time_s=0.05 * DAY_S), tmp_path)
+        data = load_report(tmp_path)
+        assert isinstance(data["manifest"], RunManifest)
+        assert data["event_counts"]
+        text = format_report(data)
+        assert "Telemetry report" in text
+        assert "Phase timings" in text
+        assert "fleet.dispatch" in text
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_report(tmp_path)
+
+    def test_format_without_events(self, tmp_path):
+        run_with_telemetry(tiny_config(sim_time_s=0.05 * DAY_S), tmp_path,
+                           exporters=["prometheus"])
+        data = load_report(tmp_path)
+        assert "event_counts" not in data
+        assert "Telemetry report" in format_report(data)

@@ -1,5 +1,7 @@
 """Tests for the structured trace recorder and its World integration."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -42,8 +44,15 @@ class TestTraceRecorder:
         times, values = t.series_arrays("x")
         assert times.tolist() == [0.0, 5.0]
         assert values.tolist() == [1.0, 2.0]
-        with pytest.raises(KeyError):
-            t.series_arrays("missing")
+
+    def test_series_arrays_never_sampled_matches_empty(self):
+        """A never-sampled series and an empty one behave identically."""
+        t = TraceRecorder()
+        t.series["empty"] = []
+        for name in ("empty", "missing"):
+            times, values = t.series_arrays(name)
+            assert times.shape == (0,)
+            assert values.shape == (0,)
 
     def test_request_latencies_matching(self):
         t = TraceRecorder()
@@ -53,11 +62,91 @@ class TestTraceRecorder:
         lats = t.request_latencies()
         assert lats == [(1, 10.0)]
 
+    def test_request_latencies_re_released(self):
+        """A node whose request is re-released before service counts once,
+        from the latest release; a full serve/re-release cycle counts twice."""
+        t = TraceRecorder()
+        t.emit(0.0, EventKind.REQUEST_RELEASED, 7)
+        t.emit(4.0, EventKind.REQUEST_RELEASED, 7)  # re-release, still pending
+        t.emit(10.0, EventKind.NODE_RECHARGED, 7, 50.0)
+        t.emit(20.0, EventKind.REQUEST_RELEASED, 7)  # new cycle after service
+        t.emit(23.0, EventKind.NODE_RECHARGED, 7, 50.0)
+        assert t.request_latencies() == [(7, 6.0), (7, 3.0)]
+
+    def test_between_boundaries(self):
+        """between() is inclusive at t0 and exclusive at t1."""
+        t = TraceRecorder()
+        t.emit(1.0, EventKind.ROTATION, 0)
+        t.emit(2.0, EventKind.ROTATION, 1)
+        t.emit(3.0, EventKind.ROTATION, 2)
+        got = [e.subject for e in t.between(1.0, 3.0)]
+        assert got == [0, 1]
+        assert list(t.between(5.0, 9.0)) == []
+
+    def test_rv_trail_filters_by_rv(self):
+        t = TraceRecorder()
+        t.emit(1.0, EventKind.RV_ARRIVED, 0, 12)
+        t.emit(2.0, EventKind.RV_ARRIVED, 1, 34)  # other RV
+        t.emit(3.0, EventKind.RV_ARRIVED, 0, 56)
+        assert t.rv_trail(0) == [(1.0, 12), (3.0, 56)]
+        assert t.rv_trail(2) == []
+
+    def test_summary_counts_unit(self):
+        t = TraceRecorder()
+        assert t.summary_counts() == {}
+        t.emit(0.0, EventKind.ROTATION)
+        t.emit(1.0, EventKind.ROTATION)
+        t.emit(2.0, EventKind.SENSOR_DEPLETED, 3)
+        assert t.summary_counts() == {"rotation": 2, "sensor_depleted": 1}
+
     def test_null_recorder_is_noop(self):
         n = NullRecorder()
         n.emit(0.0, EventKind.ROTATION)
         n.sample_series(0.0, "x", 1.0)
         assert not n.enabled
+
+
+class TestTraceJsonl:
+    def test_round_trip_exact(self, tmp_path):
+        t = TraceRecorder()
+        t.emit(0.5, EventKind.REQUEST_RELEASED, 3)
+        t.emit(1.5, EventKind.NODE_RECHARGED, 3, 42.25)
+        t.sample_series(0.0, "coverage", 0.9)
+        t.sample_series(2.0, "coverage", 0.8)
+        t.sample_series(1.0, "backlog", 4.0)
+        path = t.write_jsonl(tmp_path / "trace.jsonl")
+        back = TraceRecorder.read_jsonl(path)
+        assert back.events == t.events
+        assert back.series == t.series
+
+    def test_round_trip_from_world_run(self, tmp_path):
+        world, trace = traced_world()
+        world.run()
+        back = TraceRecorder.read_jsonl(trace.write_jsonl(tmp_path / "t.jsonl"))
+        assert back.events == trace.events
+        assert back.series == trace.series
+        assert back.summary_counts() == trace.summary_counts()
+
+    def test_lines_are_tagged_json(self, tmp_path):
+        t = TraceRecorder()
+        t.emit(0.0, EventKind.ROTATION)
+        t.sample_series(0.0, "x", 1.0)
+        lines = list(t.to_jsonl_lines())
+        records = [json.loads(line) for line in lines]
+        assert [r["type"] for r in records] == ["event", "sample"]
+
+    def test_unknown_type_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "event", "t": 0.0, "kind": "rotation"}\n'
+                        '{"type": "bogus"}\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            TraceRecorder.read_jsonl(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('\n{"type": "sample", "t": 1.0, "series": "x", "value": 2.0}\n\n')
+        back = TraceRecorder.read_jsonl(path)
+        assert back.series == {"x": [(1.0, 2.0)]}
 
 
 class TestWorldTracing:
