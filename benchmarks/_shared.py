@@ -99,12 +99,15 @@ def _profile_payload() -> Dict[str, Any]:
     return out
 
 
-def emit(name: str, table: str) -> None:
+def emit(name: str, table: str, extra: Optional[Dict[str, Any]] = None) -> None:
     """Print a figure table and persist it under benchmarks/results/.
 
     Writes the human table as ``<name>.txt`` and a machine-readable
     ``BENCH_<name>.json`` (table, scale, and — with
     ``REPRO_BENCH_PROFILE=1`` — the shared per-phase timings).
+    ``extra`` merges additional JSON-serializable fields into the
+    payload (the wall-clock benchmarks record speedups and worker
+    counts this way).
     """
     print("\n" + table)
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -115,6 +118,8 @@ def emit(name: str, table: str) -> None:
         "table": table,
         "profiled": PROFILE,
     }
+    if extra:
+        payload.update(extra)
     if PROFILE:
         payload["profile"] = _profile_payload()
     (RESULTS_DIR / f"BENCH_{name}.json").write_text(

@@ -1,0 +1,137 @@
+"""Wall-clock benchmarks for the two perf layers (not a paper figure).
+
+Two A/B measurements, each asserting the fast path changes *nothing*
+about the results:
+
+* ``bench_sweep_wallclock`` — the ERP sweep serial (``jobs=1``) vs
+  fanned out over the process-pool cell executor.  The parallel result
+  must serialize byte-identically to the serial one; the measured
+  speedup, worker count and CPU count land in
+  ``BENCH_sweep_wallclock.json``.
+* ``bench_incremental_recompute_speedup`` — one experiment cell with
+  the incremental rate recomputation disabled (``REPRO_INCREMENTAL=0``)
+  vs enabled.  Summaries must match exactly; the whole-run speedup is
+  recorded in ``BENCH_incremental_recompute.json``.
+
+Speedup *assertions* are deliberately conditional on the host actually
+having cores to parallelize over — a 1-CPU CI runner still verifies
+equality, it just records a speedup near (or below) 1.
+"""
+
+import json
+import os
+import time
+
+from repro.experiments import current_scale, run_erp_sweep
+from repro.experiments.executor import default_jobs
+from repro.sim.config import DAY_S, SimulationConfig
+from repro.sim.runner import run_simulation
+from repro.utils.tables import format_table
+
+from _shared import emit
+
+#: Reduced grid: enough cells to amortize pool startup at every scale
+#: without turning the benchmark into a second full sweep.
+SCHEDULERS = ("greedy", "combined")
+ERPS = (0.0, 0.6)
+
+
+def _sweep_jobs() -> int:
+    """Worker count for the parallel leg: REPRO_JOBS when set, else
+    up to 4 processes (the executor's target runner size)."""
+    if os.environ.get("REPRO_JOBS"):
+        return default_jobs()
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def bench_sweep_wallclock():
+    scale = current_scale()
+    jobs = _sweep_jobs()
+    # The disk cache would make both legs near-instant replays; this
+    # benchmark must measure actual simulation work.
+    cache = os.environ.pop("REPRO_CACHE", None)
+    try:
+        t0 = time.perf_counter()
+        serial = run_erp_sweep(scale, SCHEDULERS, ERPS, jobs=1)
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = run_erp_sweep(scale, SCHEDULERS, ERPS, jobs=jobs)
+        t_parallel = time.perf_counter() - t0
+    finally:
+        if cache is not None:
+            os.environ["REPRO_CACHE"] = cache
+    # Determinism contract: whatever `jobs` is, the sweep serializes
+    # byte-identically to the serial loop.
+    assert json.dumps(parallel, sort_keys=True) == json.dumps(serial, sort_keys=True)
+    speedup = t_serial / t_parallel if t_parallel > 0 else 0.0
+    n_cells = len(SCHEDULERS) * len(ERPS) * len(scale.seeds)
+    cpus = os.cpu_count() or 1
+    table = format_table(
+        ["leg", "jobs", "cells", "seconds"],
+        [
+            ["serial", 1, n_cells, round(t_serial, 3)],
+            ["parallel", jobs, n_cells, round(t_parallel, 3)],
+            ["speedup", "", "", round(speedup, 2)],
+        ],
+        title=f"ERP sweep wall clock ({scale.name} scale, {cpus} CPUs)",
+    )
+    emit(
+        "sweep_wallclock",
+        table,
+        extra={
+            "serial_s": t_serial,
+            "parallel_s": t_parallel,
+            "speedup": speedup,
+            "jobs": jobs,
+            "cells": n_cells,
+            "cpu_count": cpus,
+            "identical": True,
+        },
+    )
+    if cpus >= 4 and jobs >= 4 and n_cells >= 4:
+        # On a real multi-core runner the fan-out must actually pay.
+        assert speedup >= 1.5, f"parallel sweep speedup only {speedup:.2f}x"
+
+
+def bench_incremental_recompute_speedup():
+    cfg = SimulationConfig.experiment(
+        sim_time_s=current_scale().days * DAY_S, seed=1, scheduler="combined", erp=0.6
+    )
+    prior = os.environ.get("REPRO_INCREMENTAL")
+    try:
+        os.environ["REPRO_INCREMENTAL"] = "0"
+        t0 = time.perf_counter()
+        full = run_simulation(cfg)
+        t_full = time.perf_counter() - t0
+        os.environ["REPRO_INCREMENTAL"] = "1"
+        t0 = time.perf_counter()
+        fast = run_simulation(cfg)
+        t_fast = time.perf_counter() - t0
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_INCREMENTAL", None)
+        else:
+            os.environ["REPRO_INCREMENTAL"] = prior
+    # Exactness contract: the fast path is bit-identical, not "close".
+    assert fast.as_dict() == full.as_dict()
+    speedup = t_full / t_fast if t_fast > 0 else 0.0
+    table = format_table(
+        ["path", "seconds"],
+        [
+            ["full recompute", round(t_full, 3)],
+            ["incremental", round(t_fast, 3)],
+            ["speedup", round(speedup, 2)],
+        ],
+        title=f"Incremental rate recomputation ({current_scale().name} scale)",
+    )
+    emit(
+        "incremental_recompute",
+        table,
+        extra={
+            "full_s": t_full,
+            "incremental_s": t_fast,
+            "speedup": speedup,
+            "identical": True,
+        },
+    )
+    assert speedup > 1.0, f"incremental path slower than full ({speedup:.2f}x)"

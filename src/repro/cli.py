@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import os
 import sys
 from typing import List, Optional
 
@@ -167,6 +168,20 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_jobs(args: argparse.Namespace) -> None:
+    """Publish ``--jobs`` as ``REPRO_JOBS`` for the experiment layer.
+
+    The executor consults the environment at each fan-out, so setting
+    it here makes every figure/sweep/ablation path under this command
+    parallel without threading a parameter through each driver.
+    """
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None:
+        if jobs < 1:
+            raise SystemExit("--jobs must be >= 1")
+        os.environ["REPRO_JOBS"] = str(jobs)
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from .experiments import (
         current_scale,
@@ -182,6 +197,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     from .experiments.fig7_profit import panel_a as f7a
     from .experiments.fig7_profit import panel_b as f7b
 
+    _apply_jobs(args)
     scale = current_scale()
     fig = args.id
     if fig == "4":
@@ -203,21 +219,31 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .sim.runner import run_seeds
+    from .experiments.executor import map_configs
     from .utils.stats import mean_std
 
+    _apply_jobs(args)
     base = _build_config(args)
     schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
     erps = [float(x) for x in args.erps.split(",") if x.strip()]
     seeds = [int(x) for x in args.seeds.split(",") if x.strip()]
     metric = args.metric
+    # One flat grid through the cell executor: cache lookups up front,
+    # misses fanned out over the pool, results reassembled in order.
+    grid = [(erp, sched) for erp in erps for sched in schedulers]
+    configs = [
+        base.with_overrides(scheduler=sched, erp=erp, seed=seed)
+        for erp, sched in grid
+        for seed in seeds
+    ]
+    summaries = map_configs(configs, jobs=getattr(args, "jobs", None))
     headers = ["ERP"] + schedulers
     rows = []
-    for erp in erps:
+    for i, erp in enumerate(erps):
         row: list = [erp]
-        for sched in schedulers:
-            cfg = base.with_overrides(scheduler=sched, erp=erp)
-            values = [s.as_dict()[metric] for s in run_seeds(cfg, seeds)]
+        for j in range(len(schedulers)):
+            start = (i * len(schedulers) + j) * len(seeds)
+            values = [s.as_dict()[metric] for s in summaries[start : start + len(seeds)]]
             m, sd = mean_std(values)
             row.append(f"{m:.4g} +/- {sd:.2g}")
         rows.append(row)
@@ -283,6 +309,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fig = sub.add_parser("figure", help="regenerate one paper figure (REPRO_SCALE applies)")
     p_fig.add_argument("id", help="4, 5, 6a, 6b, 6c, 6d, 7a or 7b")
+    p_fig.add_argument(
+        "--jobs", type=int, metavar="N",
+        help="worker processes for the sweep cells (default: REPRO_JOBS, else 1)",
+    )
     p_fig.set_defaults(func=_cmd_figure)
 
     p_sweep = sub.add_parser("sweep", help="custom ERP x scheduler sweep")
@@ -300,6 +330,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--seeds", default="1,2", help="comma-separated seeds (mean +/- std reported)"
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, metavar="N",
+        help="worker processes for the sweep cells (default: REPRO_JOBS, else 1)",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
 

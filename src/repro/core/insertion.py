@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..geometry.points import distances_from
+from ..geometry.points import distances_from, pairwise_distances
 from .requests import AggregatedRequest, RechargeNodeList, aggregate_by_cluster
 from .scheduling import PlannedRoute, RVView
 
@@ -75,21 +75,30 @@ def build_insertion_sequence(
     spent = costs[dest]
     remaining = [i for i in range(n) if i != dest]
 
+    # Stop-to-stop distances, measured once; each iteration slices its
+    # gap geometry out of this matrix and ``dist0`` instead of
+    # re-computing the waypoint distances from scratch.  ``np.hypot`` is
+    # sign-insensitive, so the sliced values are bit-identical to the
+    # direct per-iteration measurement either direction.
+    dmat = pairwise_distances(positions) if remaining else None
+
     inserted = True
     while inserted and remaining and spent < budget_j:
         inserted = False
-        waypoints = np.vstack([rv_position, positions[route]])
-        k = len(waypoints)
         # Evaluate p(s, n) for every gap s and every remaining node n.
-        a = waypoints[:-1]  # (k-1, 2) gap starts
-        b = waypoints[1:]  # (k-1, 2) gap ends
-        cand = positions[remaining]  # (r, 2)
-        d_ac = np.hypot(a[:, None, 0] - cand[None, :, 0], a[:, None, 1] - cand[None, :, 1])
-        d_cb = np.hypot(cand[None, :, 0] - b[:, None, 0], cand[None, :, 1] - b[:, None, 1])
-        d_ab = np.hypot(b[:, 0] - a[:, 0], b[:, 1] - a[:, 1])
+        # Gap s runs waypoint s -> waypoint s+1 of [rv] + route.
+        heads = route[:-1]  # gap-start stops beyond the RV itself
+        if heads:
+            d_ac = np.vstack([dist0[remaining], dmat[np.ix_(heads, remaining)]])
+            d_ab = np.concatenate(([dist0[route[0]]], dmat[heads, route[1:]]))
+        else:
+            d_ac = dist0[remaining][None, :]
+            d_ab = dist0[[route[0]]]
+        d_cb = dmat[np.ix_(route, remaining)]
         detour = d_ac + d_cb - d_ab[:, None]  # (k-1, r)
-        p = demands[remaining][None, :] - em_j_per_m * detour
-        extra_cost = em_j_per_m * detour + (demands[remaining] / charge_efficiency)[None, :]
+        dem = demands[remaining]
+        p = dem[None, :] - em_j_per_m * detour
+        extra_cost = em_j_per_m * detour + (dem / charge_efficiency)[None, :]
         feasible = (p > 1e-12) & (spent + extra_cost <= budget_j + 1e-9)
         if not np.any(feasible):
             break
@@ -100,7 +109,6 @@ def build_insertion_sequence(
         route.insert(int(s0), stop_idx)  # position s0 = after waypoint s0
         spent += float(extra_cost[s0, n0])
         inserted = True
-        del waypoints, k
     return route
 
 

@@ -5,6 +5,7 @@ recorded paper-vs-measured results.
 """
 
 from .cache import cached_run, cached_run_seeds
+from .executor import default_jobs, map_cells, map_configs, sweep_grid
 from .common import (
     ERP_GRID,
     SCHEMES,
@@ -29,11 +30,14 @@ __all__ = [
     "cached_run_seeds",
     "compute_headline",
     "current_scale",
+    "default_jobs",
     "format_fig4",
     "format_fig5",
     "format_fig7_panel",
     "format_headline",
     "format_panel",
+    "map_cells",
+    "map_configs",
     "panel_a",
     "panel_b",
     "panel_c",
@@ -44,4 +48,5 @@ __all__ = [
     "run_fig4",
     "run_fig5",
     "run_fig6",
+    "sweep_grid",
 ]

@@ -3,8 +3,16 @@
 Figure sweeps re-run many identical simulations (e.g. regenerating
 Fig. 6a after 6b at the same scale).  With ``REPRO_CACHE=<dir>`` set,
 every completed run is stored as JSON keyed by the SHA-256 of its full
-serialized configuration — bit-exact keying, so a cache hit is always
-the same simulation.  Unset (the default), everything runs fresh.
+serialized configuration *plus a code token* (the package version and,
+when the package lives in a git checkout, the current commit) — so a
+cache hit is always the same simulation produced by the same code, and
+upgrading or editing the simulator invalidates stale cells instead of
+replaying them.  Unset (the default), everything runs fresh.
+
+The executor (:mod:`repro.experiments.executor`) performs lookups and
+stores in the parent process via :func:`cache_lookup` /
+:func:`cache_store`; the ``cached_run*`` helpers remain the
+single-config convenience API.
 """
 
 from __future__ import annotations
@@ -13,14 +21,24 @@ import hashlib
 import json
 import os
 import pathlib
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from ..obs.manifest import git_revision
 from ..sim.config import SimulationConfig
 from ..sim.metrics import SimulationSummary
 from ..sim.runner import run_simulation
 from ..sim.serialization import config_to_dict
 
-__all__ = ["cache_dir", "config_key", "cached_run", "cached_run_seeds", "summary_from_dict"]
+__all__ = [
+    "cache_dir",
+    "cache_lookup",
+    "cache_store",
+    "code_token",
+    "config_key",
+    "cached_run",
+    "cached_run_seeds",
+    "summary_from_dict",
+]
 
 
 def cache_dir() -> Optional[pathlib.Path]:
@@ -33,9 +51,38 @@ def cache_dir() -> Optional[pathlib.Path]:
     return path
 
 
+_CODE_TOKEN: Optional[Dict[str, Optional[str]]] = None
+
+
+def code_token() -> Dict[str, Optional[str]]:
+    """The code-identity part of the cache key, computed once.
+
+    ``version`` is the installed package version; ``git_rev`` is the
+    commit of the checkout the package is imported from (via the
+    manifest helper, ``None`` outside a repository).  Together they make
+    cached cells self-invalidating across code changes.
+    """
+    global _CODE_TOKEN
+    if _CODE_TOKEN is None:
+        from .. import __version__
+
+        _CODE_TOKEN = {
+            "version": __version__,
+            "git_rev": git_revision(pathlib.Path(__file__).resolve().parent),
+        }
+    return _CODE_TOKEN
+
+
 def config_key(config: SimulationConfig) -> str:
-    """A stable content hash of the *complete* configuration."""
-    payload = json.dumps(config_to_dict(config), sort_keys=True)
+    """A stable content hash of the *complete* configuration + code.
+
+    Two processes running the same code over the same configuration
+    agree on the key; a different package version or git revision never
+    collides with previously cached cells.
+    """
+    payload = json.dumps(
+        {"config": config_to_dict(config), "code": code_token()}, sort_keys=True
+    )
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
@@ -50,18 +97,35 @@ def summary_from_dict(data: dict) -> SimulationSummary:
     return SimulationSummary(**kwargs)
 
 
-def cached_run(config: SimulationConfig) -> SimulationSummary:
-    """Run one simulation, consulting/filling the cache when enabled."""
+def cache_lookup(config: SimulationConfig) -> Optional[SimulationSummary]:
+    """The cached summary for ``config``, or None (miss / cache off)."""
     directory = cache_dir()
     if directory is None:
-        return run_simulation(config)
+        return None
     path = directory / f"{config_key(config)}.json"
-    if path.exists():
-        return summary_from_dict(json.loads(path.read_text()))
-    summary = run_simulation(config)
+    if not path.exists():
+        return None
+    return summary_from_dict(json.loads(path.read_text()))
+
+
+def cache_store(config: SimulationConfig, summary: SimulationSummary) -> None:
+    """Store a completed run (no-op with the cache disabled)."""
+    directory = cache_dir()
+    if directory is None:
+        return
+    path = directory / f"{config_key(config)}.json"
     tmp = path.with_suffix(".tmp")
     tmp.write_text(json.dumps(summary.as_dict()))
     tmp.replace(path)  # atomic on POSIX: parallel writers can't corrupt
+
+
+def cached_run(config: SimulationConfig) -> SimulationSummary:
+    """Run one simulation, consulting/filling the cache when enabled."""
+    hit = cache_lookup(config)
+    if hit is not None:
+        return hit
+    summary = run_simulation(config)
+    cache_store(config, summary)
     return summary
 
 
@@ -70,36 +134,10 @@ def cached_run_seeds(
 ) -> List[SimulationSummary]:
     """Seed fan-out through the cache.
 
-    Misses are executed through :func:`repro.sim.runner.run_seeds`
-    (which honors ``REPRO_PROCS`` parallelism) and then stored.
+    Lookups happen here (in the caller's process); misses are executed
+    through the executor's process pool, which honors
+    ``REPRO_JOBS``/``REPRO_PROCS`` parallelism, and then stored.
     """
-    directory = cache_dir()
-    if directory is None:
-        from ..sim.runner import run_seeds
+    from .executor import map_configs
 
-        return run_seeds(config, seeds)
-    out: List[Optional[SimulationSummary]] = []
-    misses: List[int] = []
-    for s in seeds:
-        cfg = config.with_overrides(seed=s)
-        path = directory / f"{config_key(cfg)}.json"
-        if path.exists():
-            out.append(summary_from_dict(json.loads(path.read_text())))
-        else:
-            out.append(None)
-            misses.append(s)
-    if misses:
-        from ..sim.runner import run_seeds
-
-        fresh = run_seeds(config, misses)
-        it = iter(fresh)
-        for i, s in enumerate(seeds):
-            if out[i] is None:
-                summary = next(it)
-                cfg = config.with_overrides(seed=s)
-                path = directory / f"{config_key(cfg)}.json"
-                tmp = path.with_suffix(".tmp")
-                tmp.write_text(json.dumps(summary.as_dict()))
-                tmp.replace(path)
-                out[i] = summary
-    return [s for s in out if s is not None]
+    return map_configs([config.with_overrides(seed=s) for s in seeds])

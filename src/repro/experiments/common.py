@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..registry import SCHEDULERS as SCHEDULER_REGISTRY
 from ..sim.config import DAY_S, SimulationConfig
@@ -70,21 +70,29 @@ def current_scale() -> ExperimentScale:
     return _SCALES[name]
 
 
-def run_cell(scale: ExperimentScale, **overrides) -> Dict[str, float]:
+def run_cell(
+    scale: ExperimentScale, jobs: Optional[int] = None, **overrides
+) -> Dict[str, float]:
     """Run one experiment cell (seed-averaged) and return the flat
     summary dict of :meth:`SimulationSummary.as_dict`.
 
     Cells go through the opt-in on-disk cache (``REPRO_CACHE``); with
-    it unset they always run fresh.
+    it unset they always run fresh.  Seeds fan out across the executor
+    pool (``jobs``, else ``REPRO_JOBS``; cache lookups stay in the
+    parent process).
     """
-    from .cache import cached_run_seeds
+    from .executor import map_configs
 
     cfg = scale.base_config(**overrides)
-    return average_summaries(cached_run_seeds(cfg, scale.seeds))
+    configs = [cfg.with_overrides(seed=s) for s in scale.seeds]
+    return average_summaries(map_configs(configs, jobs=jobs))
 
 
 def run_cell_stats(
-    scale: ExperimentScale, confidence: float = 0.95, **overrides
+    scale: ExperimentScale,
+    confidence: float = 0.95,
+    jobs: Optional[int] = None,
+    **overrides,
 ) -> Dict[str, Dict[str, float]]:
     """Like :func:`run_cell` but with per-metric seed statistics.
 
@@ -92,31 +100,45 @@ def run_cell_stats(
     tables can report uncertainty alongside the mean.
     """
     from ..utils.stats import summarize_runs
-    from .cache import cached_run_seeds
+    from .executor import map_configs
 
     cfg = scale.base_config(**overrides)
-    return summarize_runs(cached_run_seeds(cfg, scale.seeds), confidence=confidence)
+    configs = [cfg.with_overrides(seed=s) for s in scale.seeds]
+    return summarize_runs(map_configs(configs, jobs=jobs), confidence=confidence)
 
 
 def run_erp_sweep(
     scale: ExperimentScale,
     schedulers: Sequence[str] = SCHEMES,
     erps: Sequence[float] = ERP_GRID,
+    jobs: Optional[int] = None,
     **overrides,
 ) -> Dict[str, Dict[str, List[float]]]:
     """The ERP sweep behind Figs. 5, 6(a-d) and 7(a-b).
 
     Returns ``result[scheduler][metric]`` as a list aligned with
     ``erps``; metrics are the flat summary keys.
+
+    The whole ``scheduler x erp x seed`` grid is executed by the cell
+    executor (:mod:`repro.experiments.executor`): every cell is keyed
+    by ``(scheduler, erp, seed)`` and reassembled here in grid order,
+    so the result is bit-identical to the serial loop whatever ``jobs``
+    is.
     """
-    out: Dict[str, Dict[str, List[float]]] = {}
+    from .executor import map_cells
+
     for sched in schedulers:
         # Fail fast (and with the registered names) before burning a
-        # whole sweep cell on a typo.
+        # whole sweep grid on a typo.
         SCHEDULER_REGISTRY.check(sched)
+    cells = map_cells(scale, schedulers, erps, jobs=jobs, **overrides)
+    out: Dict[str, Dict[str, List[float]]] = {}
+    for sched in schedulers:
         per_metric: Dict[str, List[float]] = {}
         for erp in erps:
-            cell = run_cell(scale, scheduler=sched, erp=erp, **overrides)
+            cell = average_summaries(
+                [cells[(sched, float(erp), int(seed))] for seed in scale.seeds]
+            )
             for k, v in cell.items():
                 per_metric.setdefault(k, []).append(v)
         out[sched] = per_metric

@@ -1,0 +1,157 @@
+"""Process-pool executor for experiment cells.
+
+The paper's figures are ERP-grid sweeps: a grid of
+``(scheduler, erp, seed)`` cells that are embarrassingly parallel.
+:func:`map_cells` fans a whole grid out across worker processes while
+keeping the output *bit-identical* to the serial path:
+
+* every cell is keyed by ``(scheduler, erp, seed)`` and the results are
+  reassembled in grid order in the parent, so averaging and JSON
+  serialization see exactly the sequence the serial loop would produce;
+* cache lookups (``REPRO_CACHE``) happen in the parent — only misses
+  are shipped to the pool — and completed cells are stored by the
+  parent, so workers stay pure functions of their configuration;
+* the worker entry point is the module-level
+  :func:`repro.sim.runner.run_simulation` over a picklable frozen
+  ``SimulationConfig``, which makes the pool safe under both ``fork``
+  and ``spawn`` start methods.
+
+Worker count comes from the ``jobs`` argument, else ``REPRO_JOBS``,
+else the older ``REPRO_PROCS`` knob, else 1 (serial, in-process).  The
+CLI exposes the same control as ``--jobs``.
+
+Observability: pass an :class:`repro.obs.Instruments` registry to
+record ``executor.cells`` / ``executor.cache_hits`` /
+``executor.cache_misses`` counters and the ``executor.map`` phase
+timer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs.instruments import NULL_INSTRUMENTS
+from ..sim.config import SimulationConfig
+from ..sim.metrics import SimulationSummary
+from ..sim.runner import run_simulation
+
+__all__ = ["CellKey", "default_jobs", "map_cells", "map_configs", "sweep_grid"]
+
+#: A sweep-cell coordinate: ``(scheduler, erp, seed)``.
+CellKey = Tuple[str, float, int]
+
+
+def default_jobs() -> int:
+    """Worker count for cell fan-out when ``jobs`` is not given.
+
+    ``REPRO_JOBS`` wins; the older ``REPRO_PROCS`` (the seed-runner
+    knob) is honored as a fallback so existing setups keep
+    parallelizing; the default is 1 (serial) so library users opt in
+    explicitly.
+    """
+    for var in ("REPRO_JOBS", "REPRO_PROCS"):
+        value = os.environ.get(var, "").strip()
+        if not value:
+            continue
+        try:
+            n = int(value)
+        except ValueError as exc:
+            raise ValueError(f"{var} must be an integer, got {value!r}") from exc
+        if n < 1:
+            raise ValueError(f"{var} must be >= 1")
+        return n
+    return 1
+
+
+def _pool_start_method() -> str:
+    """Prefer fork (cheap and REPL-friendly); fall back to spawn."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def map_configs(
+    configs: Sequence[SimulationConfig],
+    jobs: Optional[int] = None,
+    instruments=None,
+) -> List[SimulationSummary]:
+    """Run every configuration, in order, through cache + process pool.
+
+    The result list is aligned with ``configs`` regardless of the order
+    workers finish in, so the output is bit-identical to running the
+    configurations serially.  Cache lookups and stores happen in the
+    parent process; only misses are executed (in the pool when
+    ``jobs > 1``).
+    """
+    from .cache import cache_lookup, cache_store
+
+    obs = instruments if instruments is not None else NULL_INSTRUMENTS
+    n_jobs = default_jobs() if jobs is None else int(jobs)
+    if n_jobs < 1:
+        raise ValueError("jobs must be >= 1")
+
+    results: List[Optional[SimulationSummary]] = [None] * len(configs)
+    misses: List[int] = []
+    with obs.timer("executor.map"):
+        for i, cfg in enumerate(configs):
+            hit = cache_lookup(cfg)
+            if hit is not None:
+                results[i] = hit
+            else:
+                misses.append(i)
+        obs.counter("executor.cells").inc(len(configs))
+        obs.counter("executor.cache_hits").inc(len(configs) - len(misses))
+        obs.counter("executor.cache_misses").inc(len(misses))
+        if misses:
+            todo = [configs[i] for i in misses]
+            if n_jobs == 1 or len(todo) == 1:
+                fresh = [run_simulation(c) for c in todo]
+            else:
+                ctx = multiprocessing.get_context(_pool_start_method())
+                with ctx.Pool(min(n_jobs, len(todo))) as pool:
+                    fresh = pool.map(run_simulation, todo)
+            for i, summary in zip(misses, fresh):
+                cache_store(configs[i], summary)
+                results[i] = summary
+    return results  # type: ignore[return-value]
+
+
+def sweep_grid(
+    scale,
+    schedulers: Sequence[str],
+    erps: Sequence[float],
+) -> List[CellKey]:
+    """The sweep's cell keys in canonical (serial) grid order:
+    scheduler-major, then ERP, then seed."""
+    return [
+        (sched, float(erp), int(seed))
+        for sched in schedulers
+        for erp in erps
+        for seed in scale.seeds
+    ]
+
+
+def map_cells(
+    scale,
+    schedulers: Sequence[str],
+    erps: Sequence[float],
+    jobs: Optional[int] = None,
+    instruments=None,
+    **overrides,
+) -> Dict[CellKey, SimulationSummary]:
+    """Execute a whole ERP x scheduler sweep grid, one run per key.
+
+    Builds the exact configurations the serial :func:`run_cell` loop
+    would build (``scale.base_config(scheduler=..., erp=...)`` with the
+    seed overridden), fans cache misses out over the pool, and returns
+    the summaries keyed by ``(scheduler, erp, seed)``.  Grid order is
+    preserved internally so a downstream reassembly that walks
+    ``sweep_grid`` order is bit-identical to the serial sweep.
+    """
+    keys = sweep_grid(scale, schedulers, erps)
+    configs = [
+        scale.base_config(scheduler=sched, erp=erp, **overrides).with_overrides(seed=seed)
+        for sched, erp, seed in keys
+    ]
+    summaries = map_configs(configs, jobs=jobs, instruments=instruments)
+    return dict(zip(keys, summaries))

@@ -22,11 +22,12 @@ expensive for the RVs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..sim.config import HOUR_S
+from ..sim.runner import average_summaries
 from ..utils.tables import format_table
-from .common import SCHEMES, ExperimentScale, run_cell
+from .common import SCHEMES, ExperimentScale
 
 __all__ = ["CASES", "run_fig4", "format_fig4", "activity_saving_percent"]
 
@@ -39,22 +40,39 @@ CASES: Tuple[Tuple[str, float, str], ...] = (
 )
 
 
-def run_fig4(scale: ExperimentScale) -> Dict[str, Dict[str, float]]:
+def run_fig4(
+    scale: ExperimentScale, jobs: Optional[int] = None
+) -> Dict[str, Dict[str, float]]:
     """Run all 12 cells; returns ``result[case_label][scheduler]`` =
-    RV traveling energy in MJ."""
+    RV traveling energy in MJ.
+
+    The whole ``case x scheduler x seed`` grid goes through the cell
+    executor in one batch, so ``jobs``/``REPRO_JOBS`` parallelism spans
+    the entire figure, not just one cell's seeds.
+    """
+    from .executor import map_configs
+
+    grid = [
+        (label, erp, activation, sched)
+        for label, erp, activation in CASES
+        for sched in SCHEMES
+    ]
+    configs = [
+        scale.base_config(
+            scheduler=sched,
+            erp=erp,
+            activation=activation,
+            target_period_s=3 * HOUR_S,
+        ).with_overrides(seed=seed)
+        for label, erp, activation, sched in grid
+        for seed in scale.seeds
+    ]
+    summaries = map_configs(configs, jobs=jobs)
+    n_seeds = len(scale.seeds)
     out: Dict[str, Dict[str, float]] = {}
-    for label, erp, activation in CASES:
-        row: Dict[str, float] = {}
-        for sched in SCHEMES:
-            cell = run_cell(
-                scale,
-                scheduler=sched,
-                erp=erp,
-                activation=activation,
-                target_period_s=3 * HOUR_S,
-            )
-            row[sched] = cell["traveling_energy_j"] / 1e6
-        out[label] = row
+    for i, (label, _erp, _activation, sched) in enumerate(grid):
+        cell = average_summaries(summaries[i * n_seeds : (i + 1) * n_seeds])
+        out.setdefault(label, {})[sched] = cell["traveling_energy_j"] / 1e6
     return out
 
 

@@ -9,7 +9,9 @@ same vectorization.
 
 from __future__ import annotations
 
-from typing import Optional
+import weakref
+from collections import OrderedDict
+from typing import Optional, Tuple
 
 import numpy as np
 from scipy.spatial import cKDTree
@@ -21,6 +23,7 @@ __all__ = [
     "pairwise_distances",
     "pairs_within",
     "neighbors_within",
+    "kdtree_for",
     "path_length",
     "nearest_index",
 ]
@@ -80,19 +83,66 @@ def pairwise_distances(a: np.ndarray, b: Optional[np.ndarray] = None) -> np.ndar
     return np.hypot(diff[..., 0], diff[..., 1])
 
 
+# k-d trees keyed on the identity of the (already canonical) position
+# array.  Consumers in this codebase treat position arrays as immutable
+# — relocation rebinds a fresh array rather than writing in place — so
+# the same array object always describes the same point set.  The LRU
+# cap bounds memory (the tree itself references the data, keeping the
+# array alive while cached); the weakref identity check guards against
+# id() reuse after an eviction, so a stale address can never hit.
+_TREE_CACHE: "OrderedDict[int, Tuple[weakref.ref, cKDTree]]" = OrderedDict()
+_TREE_CACHE_MAX = 64
+
+
+def kdtree_for(pts: np.ndarray) -> cKDTree:
+    """A :class:`cKDTree` over ``pts``, cached on array identity.
+
+    Passing the *same array object* again returns the same tree without
+    rebuilding it — coverage, clustering and topology construction all
+    query the identical sensor-position array many times per run.  The
+    caller must not mutate ``pts`` in place after the first call (no
+    consumer in this library does; positions are rebound, not edited).
+    Arrays that fail :func:`as_points` canonicalization are still
+    handled, but each call builds a fresh tree for the canonical copy.
+    """
+    pts = as_points(pts)
+    key = id(pts)
+    hit = _TREE_CACHE.get(key)
+    if hit is not None and hit[0]() is pts:
+        _TREE_CACHE.move_to_end(key)
+        return hit[1]
+    tree = cKDTree(pts)
+
+    # The cache dict is bound as a default argument: at interpreter
+    # shutdown module globals are cleared before the last weakref
+    # callbacks fire, so a global lookup here would hit ``None``.
+    def _evict(
+        _ref: weakref.ref, _key: int = key, _cache: OrderedDict = _TREE_CACHE
+    ) -> None:
+        _cache.pop(_key, None)
+
+    _TREE_CACHE[key] = (weakref.ref(pts, _evict), tree)
+    _TREE_CACHE.move_to_end(key)
+    while len(_TREE_CACHE) > _TREE_CACHE_MAX:
+        _TREE_CACHE.popitem(last=False)
+    return tree
+
+
 def pairs_within(pts: np.ndarray, radius: float) -> np.ndarray:
     """All index pairs ``(i, j), i < j`` with ``dist <= radius``.
 
-    Backed by a k-d tree, so building a unit-disk communication graph is
-    ``O(n log n + k)`` instead of the naive ``O(n^2)``.  Returns an
-    ``(k, 2)`` int array (possibly empty).
+    Backed by a cached k-d tree (:func:`kdtree_for`), so building a
+    unit-disk communication graph is ``O(n log n + k)`` instead of the
+    naive ``O(n^2)`` and repeated queries over the same point array skip
+    the tree build entirely.  Returns an ``(k, 2)`` int array (possibly
+    empty).
     """
     pts = as_points(pts)
     if radius < 0:
         raise ValueError("radius must be non-negative")
     if len(pts) < 2:
         return np.empty((0, 2), dtype=np.intp)
-    tree = cKDTree(pts)
+    tree = kdtree_for(pts)
     pairs = tree.query_pairs(r=radius, output_type="ndarray")
     return pairs.astype(np.intp, copy=False)
 
@@ -101,7 +151,8 @@ def neighbors_within(centers: np.ndarray, pts: np.ndarray, radius: float) -> lis
     """For each center, the indices of ``pts`` within ``radius``.
 
     Returns a list (one entry per center) of sorted int arrays.  This is
-    the primitive behind "which sensors can detect target t".
+    the primitive behind "which sensors can detect target t".  The k-d
+    tree over ``pts`` comes from the identity cache (:func:`kdtree_for`).
     """
     centers = as_points(centers)
     pts = as_points(pts)
@@ -109,7 +160,7 @@ def neighbors_within(centers: np.ndarray, pts: np.ndarray, radius: float) -> lis
         raise ValueError("radius must be non-negative")
     if len(pts) == 0:
         return [np.empty(0, dtype=np.intp) for _ in range(len(centers))]
-    tree = cKDTree(pts)
+    tree = kdtree_for(pts)
     hits = tree.query_ball_point(centers, r=radius)
     return [np.asarray(sorted(h), dtype=np.intp) for h in hits]
 

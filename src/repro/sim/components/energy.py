@@ -14,11 +14,35 @@ power model of the whole sensor network:
 
 Between events nothing integrates numerically — the engine only fires
 bookkeeping ticks, so a 120-day horizon costs a few hundred events.
+
+Incremental fast path
+---------------------
+
+``recompute`` is the simulator's hottest phase: it runs on every
+rotation slot, and a full pass rebuilds the whole draw vector plus the
+relay-load tree walk even when a rotation only moved the duty inside a
+handful of clusters.  The incremental path diffs the alive/active
+masks against the previous recompute, patches the relay *packet
+counts* along the routing paths of the sensors whose origin status
+flipped, and re-prices only the dirty sensors — arithmetic is
+structured so the patched entries are **bit-identical** to a full
+recompute (integer packet counts; identical per-element operation
+order).
+
+The fast path is on by default and falls back to the full pass when
+battery leakage is configured (leakage re-prices *every* alive sensor
+from its current charge level, so there is no small dirty set) or when
+``REPRO_INCREMENTAL=0``.  ``REPRO_DEBUG_INCREMENTAL=1`` runs the full
+pass after every incremental one and asserts exact equality — the
+debugging belt-and-braces for anyone extending the rate model.
+Instruments: ``energy.recompute.incremental`` / ``energy.recompute.full``
+counters record which path ran.
 """
 
 from __future__ import annotations
 
 import logging
+import os
 from typing import Callable, Dict, Optional
 
 import numpy as np
@@ -29,6 +53,16 @@ from .state import SimulationState
 __all__ = ["EnergyAccounting"]
 
 logger = logging.getLogger(__name__)
+
+
+def _incremental_default() -> bool:
+    """The ``REPRO_INCREMENTAL`` opt-out (default: enabled)."""
+    return os.environ.get("REPRO_INCREMENTAL", "1") not in ("0", "false", "no")
+
+
+def _debug_incremental() -> bool:
+    """``REPRO_DEBUG_INCREMENTAL=1``: assert incremental == full."""
+    return os.environ.get("REPRO_DEBUG_INCREMENTAL", "") not in ("", "0")
 
 
 class EnergyAccounting:
@@ -51,8 +85,9 @@ class EnergyAccounting:
         self._per_packet_relay_j = state.power.relay_power_w(1.0)
         self._notification_j = state.power.notification_energy_j()
         self._last_t = 0.0
-        self.rates = np.zeros(state.cfg.n_sensors, dtype=np.float64)
-        self.active = np.zeros(state.cfg.n_sensors, dtype=bool)
+        n = state.cfg.n_sensors
+        self.rates = np.zeros(n, dtype=np.float64)
+        self.active = np.zeros(n, dtype=bool)
         self._category_watts: Dict[str, float] = {}
         self.breakdown_j: Dict[str, float] = {
             "idle": 0.0,
@@ -61,24 +96,53 @@ class EnergyAccounting:
             "leakage": 0.0,
             "notifications": 0.0,
         }
+        # -- incremental-recompute state ----------------------------------
+        # Leakage re-prices every alive sensor from its charge level at
+        # each recompute, so only the leak-free model has a small dirty set.
+        self.incremental_enabled = (
+            _incremental_default() and state.cfg.self_discharge_fraction_per_day == 0
+        )
+        self._debug_check = _debug_incremental()
+        self._connected = np.isfinite(state.routing.dist[:n])
+        # Plain-python parent pointers: the per-origin path walks are
+        # pure int arithmetic, far cheaper than numpy scalar indexing.
+        self._parent_list = [int(p) for p in state.routing.parent]
+        self._base = int(state.routing.base)
+        self._through_cnt = np.zeros(n + 1, dtype=np.int64)  # relayed+own packets
+        self._origins = np.zeros(n, dtype=bool)
+        self._alive_prev = np.zeros(n, dtype=bool)
+        self._relay_w = np.zeros(n, dtype=np.float64)
+        self._primed = False
         obs = state.instruments
         self._t_recompute = obs.timer("energy.recompute")
         self._t_advance = obs.timer("energy.advance")
         self._c_depletions = obs.counter("energy.depletions")
+        self._c_recompute_inc = obs.counter("energy.recompute.incremental")
+        self._c_recompute_full = obs.counter("energy.recompute.full")
         self.recompute()
 
     # ------------------------------------------------------------------
 
-    def recompute(self) -> None:
+    def recompute(self, force_full: bool = False) -> None:
         """Refresh the per-sensor power-draw vector (Watts).
 
         Also keeps the per-category totals (idle / sensing / relay /
-        leakage, in Watts) used by :meth:`breakdown`.
+        leakage, in Watts) used by :meth:`breakdown`.  Takes the
+        incremental path when enabled and primed; ``force_full`` runs
+        the full pass regardless (used by benchmarks and the debug
+        equality check).
         """
         with self._t_recompute:
-            self._recompute()
+            if force_full or not (self.incremental_enabled and self._primed):
+                self._recompute_full()
+                self._c_recompute_full.inc()
+            else:
+                self._recompute_incremental()
+                self._c_recompute_inc.inc()
+                if self._debug_check:
+                    self._assert_matches_full()
 
-    def _recompute(self) -> None:
+    def _recompute_full(self) -> None:
         s = self.s
         power = s.power
         alive = s.bank.alive_mask()
@@ -87,22 +151,22 @@ class EnergyAccounting:
         rates = np.zeros(n, dtype=np.float64)
         rates[alive] = power.idle_power_w
         rates[active] += power.active_sensing_power_w
-        # Relay load: push each active origin's packet rate down the
+        # Relay load: push each active origin's packet count down the
         # routing tree (farthest vertex first), skipping dead relays'
-        # consumption (they can't forward).
-        through = np.zeros(n + 1, dtype=np.float64)
-        connected = np.isfinite(s.routing.dist[:n])
-        origins = active & connected
-        through[:n][origins] = power.packet_rate_hz
+        # consumption (they can't forward).  Counts stay integer so the
+        # incremental path can patch them exactly.
+        cnt = np.zeros(n + 1, dtype=np.int64)
+        origins = active & self._connected
+        cnt[:n][origins] = 1
         parent = s.routing.parent
         base = s.routing.base
         for v in s.traffic_order:
-            if v == base or through[v] == 0.0:
+            if v == base or cnt[v] == 0:
                 continue
             p = parent[v]
             if p >= 0:
-                through[p] += through[v]
-        relay = through[:n] - np.where(origins, power.packet_rate_hz, 0.0)
+                cnt[p] += cnt[v]
+        relay = (cnt[:n] - origins).astype(np.float64) * power.packet_rate_hz
         relay_w = np.where(alive, relay * self._per_packet_relay_j * s.uplink_etx, 0.0)
         rates += relay_w
         leak_total = 0.0
@@ -117,12 +181,89 @@ class EnergyAccounting:
         rates[~alive] = 0.0
         self.rates = rates
         self.active = active
+        self._through_cnt = cnt
+        self._origins = origins
+        self._alive_prev = alive
+        self._relay_w = relay_w
+        self._primed = True
         self._category_watts = {
             "idle": float(np.count_nonzero(alive)) * power.idle_power_w,
             "sensing": float(np.count_nonzero(active)) * power.active_sensing_power_w,
             "relay": float(relay_w.sum()),
             "leakage": leak_total,
         }
+
+    def _recompute_incremental(self) -> None:
+        """Patch ``rates`` for the sensors touched since the last pass.
+
+        Exactness contract: every patched entry is produced by the same
+        per-element arithmetic, in the same operation order, as
+        :meth:`_recompute_full` — idle + sensing first, then
+        ``((count * rate) * per_packet_j) * etx`` relay pricing — so a
+        run on the fast path is bit-identical to one without it.
+        """
+        s = self.s
+        power = s.power
+        n = s.cfg.n_sensors
+        alive = s.bank.alive_mask()
+        active = s.activator.active_mask(alive)
+        origins = active & self._connected
+        dirty = (alive != self._alive_prev) | (active != self.active)
+        # Patch the relay packet counts along the routing path of every
+        # sensor whose origin status flipped; every vertex whose count
+        # moved is re-priced below.
+        changed = np.flatnonzero(origins != self._origins)
+        if changed.size:
+            cnt = self._through_cnt
+            parent = self._parent_list
+            base = self._base
+            touched = []
+            for v in changed:
+                delta = 1 if origins[v] else -1
+                u = int(v)
+                while u >= 0:
+                    cnt[u] += delta
+                    if u == base:
+                        break
+                    touched.append(u)
+                    u = parent[u]
+            if touched:
+                dirty[touched] = True
+        idx = np.flatnonzero(dirty)
+        if idx.size:
+            relay = (self._through_cnt[idx] - origins[idx]).astype(
+                np.float64
+            ) * power.packet_rate_hz
+            relay_w = np.where(
+                alive[idx], relay * self._per_packet_relay_j * s.uplink_etx[idx], 0.0
+            )
+            idle_w = power.idle_power_w
+            duty_w = idle_w + power.active_sensing_power_w
+            base_w = np.where(active[idx], duty_w, idle_w)
+            self.rates[idx] = np.where(alive[idx], base_w + relay_w, 0.0)
+            self._relay_w[idx] = relay_w
+        self.active = active
+        self._origins = origins
+        self._alive_prev = alive
+        self._category_watts = {
+            "idle": float(np.count_nonzero(alive)) * power.idle_power_w,
+            "sensing": float(np.count_nonzero(active)) * power.active_sensing_power_w,
+            "relay": float(self._relay_w.sum()),
+            "leakage": 0.0,
+        }
+
+    def _assert_matches_full(self) -> None:
+        """Debug mode: the incremental result must equal a full pass."""
+        inc_rates = self.rates.copy()
+        inc_watts = dict(self._category_watts)
+        self._recompute_full()
+        if not np.array_equal(inc_rates, self.rates) or inc_watts != self._category_watts:
+            diff = np.flatnonzero(inc_rates != self.rates)
+            raise AssertionError(
+                "incremental recompute diverged from full recompute "
+                f"(sensors {diff[:10].tolist()}, category watts {inc_watts} "
+                f"vs {self._category_watts}); please report this"
+            )
 
     def advance(self) -> None:
         """Drain batteries for the elapsed interval; handle depletions."""

@@ -28,6 +28,27 @@ class TestCacheKey:
         assert config_key(quick_cfg()) != config_key(quick_cfg(seed=6))
         assert config_key(quick_cfg()) != config_key(quick_cfg(erp=0.5))
 
+    def test_sensitive_to_code_version(self, monkeypatch):
+        # The key embeds the package version + git revision: a code
+        # change must never replay cells produced by older code.
+        from repro.experiments import cache as cache_mod
+
+        base = config_key(quick_cfg())
+        monkeypatch.setattr(
+            cache_mod,
+            "code_token",
+            lambda: {"version": "999.0", "git_rev": "deadbeef"},
+        )
+        assert config_key(quick_cfg()) != base
+
+    def test_code_token_fields(self):
+        from repro.experiments.cache import code_token
+
+        token = code_token()
+        assert token["version"]
+        # In this checkout the package lives in a git repo.
+        assert "git_rev" in token
+
 
 class TestSummaryRoundtrip:
     def test_from_dict(self):
