@@ -24,9 +24,11 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.experiments import current_scale, run_fig4, run_fig6
+from repro.obs.manifest import git_revision
 from repro.utils.profiling import profile_call
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -108,10 +110,16 @@ def emit(name: str, table: str, extra: Optional[Dict[str, Any]] = None) -> None:
     ``extra`` merges additional JSON-serializable fields into the
     payload (the wall-clock benchmarks record speedups and worker
     counts this way).
+
+    Every call also appends a summary row (UTC timestamp, git revision,
+    scale, and any ``speedup*`` fields from ``extra``) to the file's
+    ``"history"`` list, preserved across runs — so perf trends are
+    machine-readable without scraping old CI logs.
     """
     print("\n" + table)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    json_path = RESULTS_DIR / f"BENCH_{name}.json"
     payload: Dict[str, Any] = {
         "name": name,
         "scale": os.environ.get("REPRO_SCALE", "bench"),
@@ -122,6 +130,29 @@ def emit(name: str, table: str, extra: Optional[Dict[str, Any]] = None) -> None:
         payload.update(extra)
     if PROFILE:
         payload["profile"] = _profile_payload()
-    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    payload["history"] = _previous_history(json_path)
+    payload["history"].append(_history_row(payload))
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _previous_history(json_path: pathlib.Path) -> List[Dict[str, Any]]:
+    """The ``"history"`` rows of an earlier ``BENCH_*.json``, if any."""
+    try:
+        previous = json.loads(json_path.read_text())
+    except (OSError, ValueError):
+        return []
+    history = previous.get("history", [])
+    return history if isinstance(history, list) else []
+
+
+def _history_row(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One machine-readable summary row for the history trail."""
+    row: Dict[str, Any] = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_rev": git_revision(pathlib.Path(__file__).parent),
+        "scale": payload["scale"],
+    }
+    for key, value in payload.items():
+        if key.startswith("speedup") or key == "speedups":
+            row[key] = value
+    return row

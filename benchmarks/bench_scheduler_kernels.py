@@ -1,0 +1,151 @@
+"""Microbenchmarks for the vectorized scheduling kernels (not a figure).
+
+Times the vectorized path of each kernel against its scalar reference
+path on scheduler-shaped instances — the insertion ``p(s, n)`` matrix
+on a 120-stop list, a full 200-stop 2-opt descent, the greedy
+max-profit pick and the Lloyd assignment step.  Every comparison first
+asserts the two paths produce **identical** outputs (the bit-exactness
+contract), then asserts the vectorized path actually won — CI fails if
+a kernel regresses below the reference loop.  Speedups land in
+``BENCH_scheduler_kernels.json`` (with the history trail from
+``_shared.emit``).
+"""
+
+import contextlib
+import os
+import time
+
+import numpy as np
+
+from repro.core import kernels
+from repro.geometry.points import distances_from, pairwise_distances
+from repro.tsp.two_opt import _two_opt_reference, _two_opt_vectorized
+from repro.utils.tables import format_table
+
+from _shared import emit
+
+#: Instance sizes (fixed across scales: these are microseconds-to-
+#: milliseconds kernels, not simulations).
+N_INSERTION = 120  # stops in the insertion instance (1/3 routed)
+N_TWO_OPT = 200  # cities in the 2-opt descent
+N_GREEDY = 2000  # candidate nodes per greedy pick
+N_KMEANS = (2000, 16)  # points x centroids per Lloyd step
+
+
+@contextlib.contextmanager
+def _vectorize(value: str):
+    old = os.environ.get("REPRO_VECTORIZE")
+    os.environ["REPRO_VECTORIZE"] = value
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_VECTORIZE", None)
+        else:
+            os.environ["REPRO_VECTORIZE"] = old
+
+
+def _time(fn, reps: int) -> float:
+    """Best-of-3 wall-clock seconds for ``reps`` calls of ``fn``."""
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _ab(fn, reps: int, equal) -> tuple:
+    """Run ``fn`` on both kernel paths; assert equality, time both."""
+    with _vectorize("1"):
+        vec_out = fn()
+        t_vec = _time(fn, reps)
+    with _vectorize("0"):
+        ref_out = fn()
+        t_ref = _time(fn, reps)
+    assert equal(vec_out, ref_out), "vectorized kernel diverged from reference"
+    return t_vec, t_ref, (t_ref / t_vec if t_vec > 0 else float("inf"))
+
+
+def bench_scheduler_kernels():
+    rng = np.random.default_rng(42)
+    rows = []
+    speedups = {}
+
+    # -- insertion p(s, n): one full (gaps x remaining) evaluation ----
+    pts = rng.uniform(0, 200, size=(N_INSERTION, 2))
+    demands = rng.uniform(10, 200, size=N_INSERTION)
+    dmat = pairwise_distances(pts)
+    dist0 = distances_from(np.array([100.0, 100.0]), pts)
+    route = list(range(N_INSERTION // 3))
+    remaining = list(range(N_INSERTION // 3, N_INSERTION))
+    t_vec, t_ref, s = _ab(
+        lambda: kernels.insertion_eval(dmat, dist0, demands, route, remaining, 5.6, 0.8),
+        reps=20,
+        equal=lambda a, b: np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1]),
+    )
+    speedups["insertion_eval"] = round(s, 2)
+    rows.append(["insertion_eval p(s,n)", f"{len(route)}x{len(remaining)}", t_ref, t_vec, s])
+
+    # -- 2-opt: a full first-improvement descent on 200 stops ---------
+    tour_pts = rng.uniform(0, 500, size=(N_TWO_OPT, 2))
+    start_order = [int(i) for i in rng.permutation(N_TWO_OPT)]
+    t0 = time.perf_counter()
+    vec_order = _two_opt_vectorized(tour_pts, list(start_order), 50)
+    t_vec = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    ref_order = _two_opt_reference(tour_pts, list(start_order), 50)
+    t_ref = time.perf_counter() - t0
+    assert vec_order == ref_order, "2-opt move sequences diverged"
+    s = t_ref / t_vec if t_vec > 0 else float("inf")
+    speedups["two_opt"] = round(s, 2)
+    rows.append(["two_opt descent", f"{N_TWO_OPT} stops", t_ref, t_vec, s])
+
+    # -- greedy max-profit pick ---------------------------------------
+    g_demands = rng.uniform(10, 200, size=N_GREEDY)
+    g_dists = rng.uniform(1, 400, size=N_GREEDY)
+    g_mask = rng.random(N_GREEDY) < 0.8
+    t_vec, t_ref, s = _ab(
+        lambda: kernels.greedy_pick(g_demands, g_dists, 5.6, mask=g_mask),
+        reps=50,
+        equal=lambda a, b: a == b,
+    )
+    speedups["greedy_pick"] = round(s, 2)
+    rows.append(["greedy_pick", f"{N_GREEDY} nodes", t_ref, t_vec, s])
+
+    # -- K-means assignment step --------------------------------------
+    k_pts = rng.uniform(0, 200, size=(N_KMEANS[0], 2))
+    k_cents = rng.uniform(0, 200, size=(N_KMEANS[1], 2))
+    t_vec, t_ref, s = _ab(
+        lambda: kernels.kmeans_assign(k_pts, k_cents),
+        reps=5,
+        equal=np.array_equal,
+    )
+    speedups["kmeans_assign"] = round(s, 2)
+    rows.append(["kmeans_assign", f"{N_KMEANS[0]}x{N_KMEANS[1]}", t_ref, t_vec, s])
+
+    table = format_table(
+        ["kernel", "size", "reference_s", "vectorized_s", "speedup"],
+        [[r[0], r[1], round(r[2], 4), round(r[3], 4), round(r[4], 2)] for r in rows],
+        title="Scheduling kernels: vectorized vs reference (bit-identical outputs)",
+    )
+    emit(
+        "scheduler_kernels",
+        table,
+        extra={
+            "speedups": speedups,
+            "sizes": {
+                "insertion_stops": N_INSERTION,
+                "two_opt_stops": N_TWO_OPT,
+                "greedy_nodes": N_GREEDY,
+                "kmeans_points": N_KMEANS[0],
+                "kmeans_centroids": N_KMEANS[1],
+            },
+        },
+    )
+    # The contract CI enforces: the default path must never be the
+    # slower one.  (The interesting margins — >=3x on insertion,
+    # >=2x on 2-opt — are recorded above for EXPERIMENTS.md.)
+    for kernel, s in speedups.items():
+        assert s > 1.0, f"vectorized {kernel} slower than reference ({s}x)"

@@ -53,9 +53,14 @@ def wcss(points: np.ndarray, centroids: np.ndarray, labels: np.ndarray) -> float
 
 
 def _assign(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
-    diff = points[:, None, :] - centroids[None, :, :]
-    dist2 = diff[..., 0] ** 2 + diff[..., 1] ** 2
-    return np.argmin(dist2, axis=1)
+    # The (points x centroids) squared-distance argmin reduction lives
+    # in the kernel layer so the Lloyd step shares the vectorize /
+    # reference / debug knobs with the schedulers.  Imported lazily:
+    # repro.core's package init reaches this module via the
+    # Partition-Scheme, so a top-level kernels import would be circular.
+    from ..core import kernels
+
+    return kernels.kmeans_assign(points, centroids)
 
 
 def kmeans(

@@ -5,6 +5,17 @@ with the maximum recharge profit ``d_i - em * dist(rv, i)`` and
 recharges *only that node*.  No look-ahead, no cluster batching — the
 paper introduces it precisely to expose how much traveling energy a
 profit-myopic policy wastes.
+
+The round loop is a masked argmax over one shared snapshot: positions
+and demands are stacked once per scheduling round, served nodes are
+masked out, and each pick reuses the round's
+:class:`~repro.core.kernels.DistanceCache` — after the first hop an
+RV stands *on* a listed stop, so its next profit evaluation is a row
+of the shared stop/stop matrix rather than a fresh measurement.  The
+pick itself is :func:`repro.core.kernels.greedy_pick`, whose reference
+path is the original per-element loop; both are bit-identical to the
+historic re-stack-the-snapshot implementation (masking never changes
+the elementwise profit arithmetic or the lowest-index tie rule).
 """
 
 from __future__ import annotations
@@ -13,8 +24,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..geometry.points import distance
-from .profit import node_profits
+from ..geometry.points import distances_from
+from ..tsp.tour import leg_lengths
+from . import kernels
 from .requests import RechargeNodeList, RechargeRequest
 from .scheduling import PlannedRoute, RVView
 
@@ -35,14 +47,16 @@ def greedy_destination(
     """
     if len(demands) == 0:
         return None
-    profits = node_profits(demands, positions, rv_position, em_j_per_m)
-    return int(np.argmax(profits))
+    if em_j_per_m < 0:
+        raise ValueError("em_j_per_m must be non-negative")
+    dists = distances_from(rv_position, positions)
+    return kernels.greedy_pick(demands, dists, em_j_per_m)
 
 
 class _GreedyState:
     """One RV's virtual state while Algorithm 2's loop runs."""
 
-    __slots__ = ("rv", "position", "budget", "picked", "flag")
+    __slots__ = ("rv", "position", "budget", "picked", "flag", "at_stop")
 
     def __init__(self, rv: RVView) -> None:
         self.rv = rv
@@ -50,6 +64,7 @@ class _GreedyState:
         self.budget = rv.budget_j
         self.picked: List[RechargeRequest] = []
         self.flag = True  # "this RV has enough energy" (Alg. 2 line 1)
+        self.at_stop: Optional[int] = None  # snapshot index the RV stands on
 
 
 class GreedyScheduler:
@@ -72,33 +87,46 @@ class GreedyScheduler:
         rng: np.random.Generator,
     ) -> Dict[int, PlannedRoute]:
         states = [_GreedyState(rv) for rv in idle_rvs]
-        while len(requests) > 0 and any(s.flag for s in states):
-            for st in states:
-                snapshot = requests.snapshot()
-                if not snapshot:
-                    break
-                if not st.flag:
-                    continue
-                positions = np.vstack([r.position for r in snapshot])
-                demands = np.array([r.demand_j for r in snapshot])
-                idx = greedy_destination(demands, positions, st.position, st.rv.em_j_per_m)
-                chosen = snapshot[idx]
-                travel = distance(st.position, chosen.position)
-                cost = travel * st.rv.em_j_per_m + st.rv.delivery_cost(chosen.demand_j)
-                if cost > st.budget + 1e-9:
-                    st.flag = False  # recharge threshold of h_i violated
-                    continue
-                st.picked.append(chosen)
-                st.budget -= cost
-                st.position = chosen.position
-                requests.remove(chosen.node_id)
+        snapshot = requests.snapshot()
+        if snapshot and states:
+            positions = np.vstack([r.position for r in snapshot])
+            demands = np.array([r.demand_j for r in snapshot], dtype=np.float64)
+            cache = kernels.distance_cache_for(positions)
+            unserved = np.ones(len(snapshot), dtype=bool)
+            while np.any(unserved) and any(s.flag for s in states):
+                for st in states:
+                    if not np.any(unserved):
+                        break
+                    if not st.flag:
+                        continue
+                    dists = (
+                        cache.row(st.at_stop)
+                        if st.at_stop is not None
+                        else cache.from_point(st.position)
+                    )
+                    idx = kernels.greedy_pick(
+                        demands, dists, st.rv.em_j_per_m, mask=unserved
+                    )
+                    chosen = snapshot[idx]
+                    travel = float(dists[idx])
+                    cost = travel * st.rv.em_j_per_m + st.rv.delivery_cost(
+                        chosen.demand_j
+                    )
+                    if cost > st.budget + 1e-9:
+                        st.flag = False  # recharge threshold of h_i violated
+                        continue
+                    st.picked.append(chosen)
+                    st.budget -= cost
+                    st.position = chosen.position
+                    st.at_stop = idx
+                    unserved[idx] = False
+                    requests.remove(chosen.node_id)
         plans: Dict[int, PlannedRoute] = {}
         for st in states:
             if not st.picked:
                 continue
             waypoints = np.vstack([st.rv.position] + [r.position for r in st.picked])
-            seg = np.diff(waypoints, axis=0)
-            travel = float(np.hypot(seg[:, 0], seg[:, 1]).sum())
+            travel = float(leg_lengths(waypoints).sum())
             demand = float(sum(r.demand_j for r in st.picked))
             plans[st.rv.rv_id] = PlannedRoute(
                 node_ids=tuple(r.node_id for r in st.picked),

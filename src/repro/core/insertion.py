@@ -24,7 +24,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..geometry.points import distances_from, pairwise_distances
+from ..tsp.tour import leg_lengths
+from . import kernels
 from .requests import AggregatedRequest, RechargeNodeList, aggregate_by_cluster
 from .scheduling import PlannedRoute, RVView
 
@@ -59,54 +60,42 @@ def build_insertion_sequence(
     rv_position = np.asarray(rv_position, dtype=np.float64).reshape(2)
     positions = np.vstack([s.position for s in stops])
     demands = np.array([s.demand_j for s in stops], dtype=np.float64)
-    dist0 = distances_from(rv_position, positions)
-    profits = demands - em_j_per_m * dist0
+    # The shared cache measures stop/stop and RV/stop distances once per
+    # scheduling event; every iteration below slices its gap geometry
+    # out of the cached matrices.  ``np.hypot`` is sign-insensitive, so
+    # the sliced values are bit-identical to a direct per-iteration
+    # measurement either direction.
+    cache = kernels.distance_cache_for(positions)
+    dist0 = cache.from_point(rv_position)
+    profits = kernels.profit_vector(demands, dist0, em_j_per_m)
     costs = em_j_per_m * dist0 + demands / charge_efficiency
 
     # Destination: best profit among affordable nodes (Alg. 3 line 2,
     # "Update RV's information to reserve energy for the dest node").
-    affordable = costs <= budget_j + 1e-9
-    if not np.any(affordable):
+    dest = kernels.masked_argmax(profits, costs <= budget_j + 1e-9)
+    if dest is None:
         return []
-    masked = np.where(affordable, profits, -np.inf)
-    dest = int(np.argmax(masked))
 
     route = [dest]  # stop indices; waypoint list is [rv] + route
     spent = costs[dest]
     remaining = [i for i in range(n) if i != dest]
-
-    # Stop-to-stop distances, measured once; each iteration slices its
-    # gap geometry out of this matrix and ``dist0`` instead of
-    # re-computing the waypoint distances from scratch.  ``np.hypot`` is
-    # sign-insensitive, so the sliced values are bit-identical to the
-    # direct per-iteration measurement either direction.
-    dmat = pairwise_distances(positions) if remaining else None
+    dmat = cache.pairwise if remaining else None
 
     inserted = True
     while inserted and remaining and spent < budget_j:
         inserted = False
         # Evaluate p(s, n) for every gap s and every remaining node n.
         # Gap s runs waypoint s -> waypoint s+1 of [rv] + route.
-        heads = route[:-1]  # gap-start stops beyond the RV itself
-        if heads:
-            d_ac = np.vstack([dist0[remaining], dmat[np.ix_(heads, remaining)]])
-            d_ab = np.concatenate(([dist0[route[0]]], dmat[heads, route[1:]]))
-        else:
-            d_ac = dist0[remaining][None, :]
-            d_ab = dist0[[route[0]]]
-        d_cb = dmat[np.ix_(route, remaining)]
-        detour = d_ac + d_cb - d_ab[:, None]  # (k-1, r)
-        dem = demands[remaining]
-        p = dem[None, :] - em_j_per_m * detour
-        extra_cost = em_j_per_m * detour + (dem / charge_efficiency)[None, :]
+        p, extra_cost = kernels.insertion_eval(
+            dmat, dist0, demands, route, remaining, em_j_per_m, charge_efficiency
+        )
         feasible = (p > 1e-12) & (spent + extra_cost <= budget_j + 1e-9)
-        if not np.any(feasible):
+        pick = kernels.masked_argmax_2d(p, feasible)
+        if pick is None:
             break
-        p_masked = np.where(feasible, p, -np.inf)
-        flat = int(np.argmax(p_masked))
-        s0, n0 = np.unravel_index(flat, p_masked.shape)
-        stop_idx = remaining.pop(int(n0))
-        route.insert(int(s0), stop_idx)  # position s0 = after waypoint s0
+        s0, n0 = pick
+        stop_idx = remaining.pop(n0)
+        route.insert(s0, stop_idx)  # position s0 = after waypoint s0
         spent += float(extra_cost[s0, n0])
         inserted = True
     return route
@@ -141,8 +130,7 @@ def expand_stops(
         demand += stop.demand_j
         entry = waypoints[-1]
     wp = np.vstack(waypoints)
-    seg = np.diff(wp, axis=0)
-    travel = float(np.hypot(seg[:, 0], seg[:, 1]).sum()) if len(wp) > 1 else 0.0
+    travel = float(leg_lengths(wp).sum()) if len(wp) > 1 else 0.0
     return PlannedRoute(
         node_ids=tuple(node_ids),
         waypoints=wp,

@@ -1,0 +1,495 @@
+"""Vectorized scheduling kernels and the shared distance cache.
+
+Every scheduler decision in this library reduces to a handful of
+numeric primitives — "profit of each candidate", "detour of inserting
+node *n* into gap *s*", "nearest unvisited city", "closest centroid" —
+evaluated thousands of times per scheduling event.  This module is the
+single home for those primitives, each shipped as a **pair** of
+implementations:
+
+* a *vectorized* path (numpy broadcasts, masked argmax/argmin
+  reductions, matrix slicing) — the default;
+* a *reference* path (the plain per-element Python loop the vectorized
+  code replaced) kept as the executable specification.
+
+The two paths are **bit-identical**: the vectorized code performs the
+same IEEE-754 operations, per element, in the same order as the scalar
+loop (``np.hypot`` is sign-insensitive, elementwise ufuncs carry no
+reduction-order freedom, and ties resolve to the lowest index on both
+sides), so fixed-seed goldens do not move when the knob flips.
+
+Knobs (mirroring the incremental-energy pattern of
+``repro.sim.components.energy``):
+
+* ``REPRO_VECTORIZE=0`` — run the reference loops everywhere.
+* ``REPRO_DEBUG_VECTORIZE=1`` — run *both* paths on every kernel call
+  and raise if a single bit differs (the belt-and-braces mode for
+  anyone extending a kernel).
+
+:class:`DistanceCache` memoizes the stop/stop pairwise matrix and the
+stop/depot (origin) distance rows for one position array, so greedy,
+insertion, partition, the nearest-neighbour tour and 2-opt measure each
+leg once per scheduling event instead of once per use.
+:func:`distance_cache_for` adds an identity-keyed registry (the
+``kdtree_for`` pattern) so repeated planning over the *same* array —
+the insertion trimming loop re-touring the same cluster members, the
+greedy round chaining picks over one snapshot — shares one cache.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.points import as_points, distances_from, pairwise_distances
+
+__all__ = [
+    "DistanceCache",
+    "KERNEL_CALLS",
+    "debug_vectorize",
+    "distance_cache_for",
+    "greedy_pick",
+    "insertion_eval",
+    "kmeans_assign",
+    "masked_argmax",
+    "masked_argmax_2d",
+    "masked_argmin",
+    "profit_vector",
+    "reset_kernel_calls",
+    "uplink_etx_vector",
+    "vectorize_enabled",
+]
+
+
+def vectorize_enabled() -> bool:
+    """The ``REPRO_VECTORIZE`` opt-out (default: enabled)."""
+    return os.environ.get("REPRO_VECTORIZE", "1") not in ("0", "false", "no")
+
+
+def debug_vectorize() -> bool:
+    """``REPRO_DEBUG_VECTORIZE=1``: run both paths, assert equality."""
+    return os.environ.get("REPRO_DEBUG_VECTORIZE", "") not in ("", "0")
+
+
+#: Cumulative kernel invocations per path, for observability: the fleet
+#: component diffs these around each dispatch round and feeds the
+#: ``scheduler.kernel.vectorized`` / ``...reference`` counters.
+KERNEL_CALLS: Dict[str, int] = {"vectorized": 0, "reference": 0}
+
+
+def reset_kernel_calls() -> None:
+    """Zero the per-path invocation counters (tests and benchmarks)."""
+    KERNEL_CALLS["vectorized"] = 0
+    KERNEL_CALLS["reference"] = 0
+
+
+def _dispatch(label, vectorized, reference, equal):
+    """Run the selected path; in debug mode run both and compare."""
+    if vectorize_enabled():
+        out = vectorized()
+        KERNEL_CALLS["vectorized"] += 1
+        if debug_vectorize():
+            ref = reference()
+            if not equal(out, ref):
+                raise AssertionError(
+                    f"vectorized kernel {label!r} diverged from its reference "
+                    f"path (REPRO_DEBUG_VECTORIZE): {out!r} != {ref!r}"
+                )
+        return out
+    KERNEL_CALLS["reference"] += 1
+    return reference()
+
+
+# ----------------------------------------------------------------------
+# distance cache
+# ----------------------------------------------------------------------
+
+
+class DistanceCache:
+    """Memoized distance geometry over one ``(n, 2)`` stop array.
+
+    The array is treated as immutable after construction (the repo-wide
+    position contract; see :func:`repro.geometry.points.kdtree_for`).
+    Everything is measured with ``np.hypot``, the library-wide metric,
+    so a cached entry is bit-identical to a direct measurement.
+    """
+
+    __slots__ = ("points", "_pairwise", "_rows", "_origin_rows", "__weakref__")
+
+    def __init__(self, points: np.ndarray) -> None:
+        self.points = as_points(points)
+        self._pairwise: Optional[np.ndarray] = None
+        self._rows: Dict[int, np.ndarray] = {}
+        self._origin_rows: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def pairwise(self) -> np.ndarray:
+        """The full stop/stop distance matrix, computed at most once."""
+        if self._pairwise is None:
+            self._pairwise = pairwise_distances(self.points)
+        return self._pairwise
+
+    def row(self, i: int) -> np.ndarray:
+        """Distances from stop ``i`` to every stop.
+
+        Slices :attr:`pairwise` when the matrix already exists;
+        otherwise measures (and memoizes) the single row, so a caller
+        that only ever needs a few origins never pays the full matrix.
+        """
+        if self._pairwise is not None:
+            return self._pairwise[i]
+        hit = self._rows.get(i)
+        if hit is None:
+            hit = distances_from(self.points[i], self.points)
+            self._rows[i] = hit
+        return hit
+
+    def from_point(self, origin: np.ndarray) -> np.ndarray:
+        """Distances from an arbitrary origin (RV / depot) to every stop.
+
+        Memoized on the origin's coordinate bytes — each depot or RV
+        position is measured against the stop set once per cache.
+        """
+        origin = np.asarray(origin, dtype=np.float64).reshape(2)
+        key = origin.tobytes()
+        hit = self._origin_rows.get(key)
+        if hit is None:
+            hit = distances_from(origin, self.points)
+            self._origin_rows[key] = hit
+            while len(self._origin_rows) > 128:
+                self._origin_rows.popitem(last=False)
+        return hit
+
+
+# Identity-keyed registry, mirroring geometry.points._TREE_CACHE: the
+# weakref guards against id() reuse after eviction, the LRU cap bounds
+# memory (each cache pins its matrix and its points array while held).
+_CACHE_REGISTRY: "OrderedDict[int, Tuple[weakref.ref, DistanceCache]]" = OrderedDict()
+_CACHE_REGISTRY_MAX = 32
+
+
+def distance_cache_for(points: np.ndarray) -> DistanceCache:
+    """The shared :class:`DistanceCache` for ``points``, by identity.
+
+    Passing the *same array object* again returns the same cache, so
+    schedulers that re-plan over one snapshot (the insertion trimming
+    loop, chained greedy picks, repeated intra-cluster tours) reuse
+    every distance already measured.  Arrays that are not canonical
+    ``(n, 2)`` float64 get a fresh cache per call.
+    """
+    pts = as_points(points)
+    key = id(pts)
+    hit = _CACHE_REGISTRY.get(key)
+    if hit is not None and hit[0]() is pts:
+        _CACHE_REGISTRY.move_to_end(key)
+        return hit[1]
+    cache = DistanceCache(pts)
+
+    def _evict(
+        _ref: weakref.ref, _key: int = key, _registry: OrderedDict = _CACHE_REGISTRY
+    ) -> None:
+        _registry.pop(_key, None)
+
+    _CACHE_REGISTRY[key] = (weakref.ref(pts, _evict), cache)
+    _CACHE_REGISTRY.move_to_end(key)
+    while len(_CACHE_REGISTRY) > _CACHE_REGISTRY_MAX:
+        _CACHE_REGISTRY.popitem(last=False)
+    return cache
+
+
+# ----------------------------------------------------------------------
+# profit / selection kernels
+# ----------------------------------------------------------------------
+
+
+def profit_vector(
+    demands: np.ndarray, dists: np.ndarray, em_j_per_m: float
+) -> np.ndarray:
+    """Per-node one-shot profit ``d_i - em * dist_i`` (Eq. (2) pricing)."""
+    demands = np.asarray(demands, dtype=np.float64)
+    dists = np.asarray(dists, dtype=np.float64)
+
+    def _vec() -> np.ndarray:
+        return demands - em_j_per_m * dists
+
+    def _ref() -> np.ndarray:
+        out = np.empty(len(demands), dtype=np.float64)
+        for i in range(len(demands)):
+            out[i] = demands[i] - em_j_per_m * dists[i]
+        return out
+
+    return _dispatch("profit_vector", _vec, _ref, np.array_equal)
+
+
+def greedy_pick(
+    demands: np.ndarray,
+    dists: np.ndarray,
+    em_j_per_m: float,
+    mask: Optional[np.ndarray] = None,
+) -> Optional[int]:
+    """Index of the max-profit node among ``mask`` (Algorithm 2, line 8).
+
+    Ties resolve to the lowest index; ``None`` when nothing is selectable.
+    """
+    demands = np.asarray(demands, dtype=np.float64)
+    dists = np.asarray(dists, dtype=np.float64)
+    if len(demands) == 0 or (mask is not None and not np.any(mask)):
+        return None
+
+    def _vec() -> int:
+        profits = demands - em_j_per_m * dists
+        if mask is not None:
+            profits = np.where(mask, profits, -np.inf)
+        return int(np.argmax(profits))
+
+    def _ref() -> int:
+        best = -np.inf
+        best_i = -1
+        for i in range(len(demands)):
+            if mask is not None and not mask[i]:
+                continue
+            p = demands[i] - em_j_per_m * dists[i]
+            if p > best:
+                best = p
+                best_i = i
+        return best_i
+
+    return _dispatch("greedy_pick", _vec, _ref, lambda a, b: a == b)
+
+
+def masked_argmax(values: np.ndarray, mask: np.ndarray) -> Optional[int]:
+    """First index of the maximum of ``values`` where ``mask`` holds."""
+    values = np.asarray(values, dtype=np.float64)
+    if not np.any(mask):
+        return None
+
+    def _vec() -> int:
+        return int(np.argmax(np.where(mask, values, -np.inf)))
+
+    def _ref() -> int:
+        best = -np.inf
+        best_i = -1
+        for i in range(len(values)):
+            if mask[i] and values[i] > best:
+                best = values[i]
+                best_i = i
+        return best_i
+
+    return _dispatch("masked_argmax", _vec, _ref, lambda a, b: a == b)
+
+
+def masked_argmax_2d(
+    values: np.ndarray, mask: np.ndarray
+) -> Optional[Tuple[int, int]]:
+    """Row-major first ``(row, col)`` of the masked maximum, or ``None``."""
+    values = np.asarray(values, dtype=np.float64)
+    if not np.any(mask):
+        return None
+
+    def _vec() -> Tuple[int, int]:
+        flat = int(np.argmax(np.where(mask, values, -np.inf)))
+        r, c = np.unravel_index(flat, values.shape)
+        return int(r), int(c)
+
+    def _ref() -> Tuple[int, int]:
+        best = -np.inf
+        best_rc = (-1, -1)
+        rows, cols = values.shape
+        for r in range(rows):
+            for c in range(cols):
+                if mask[r, c] and values[r, c] > best:
+                    best = values[r, c]
+                    best_rc = (r, c)
+        return best_rc
+
+    return _dispatch("masked_argmax_2d", _vec, _ref, lambda a, b: a == b)
+
+
+def masked_argmin(dists: np.ndarray, mask: Optional[np.ndarray] = None) -> Optional[int]:
+    """First index of the minimum of ``dists`` where ``mask`` holds."""
+    dists = np.asarray(dists, dtype=np.float64)
+    if len(dists) == 0 or (mask is not None and not np.any(mask)):
+        return None
+
+    def _vec() -> int:
+        d = dists if mask is None else np.where(mask, dists, np.inf)
+        return int(np.argmin(d))
+
+    def _ref() -> int:
+        best = np.inf
+        best_i = -1
+        for i in range(len(dists)):
+            if mask is not None and not mask[i]:
+                continue
+            if dists[i] < best:
+                best = dists[i]
+                best_i = i
+        return best_i
+
+    return _dispatch("masked_argmin", _vec, _ref, lambda a, b: a == b)
+
+
+# ----------------------------------------------------------------------
+# insertion kernel — Algorithm 3's p(s, n) evaluation
+# ----------------------------------------------------------------------
+
+
+def insertion_eval(
+    dmat: np.ndarray,
+    dist0: np.ndarray,
+    demands: np.ndarray,
+    route: Sequence[int],
+    remaining: Sequence[int],
+    em_j_per_m: float,
+    charge_efficiency: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Profit difference and budget debit of every candidate insertion.
+
+    Gap ``s`` runs waypoint ``s`` → waypoint ``s + 1`` of the route
+    ``[rv] + route``; candidate ``n`` ranges over ``remaining``.  For
+    each pair this evaluates the paper's
+    ``p(s, n) = D(n) - em * delta_d(s)`` and the budget debit
+    ``em * delta_d(s) + D(n) / efficiency``.
+
+    Args:
+        dmat: stop/stop distance matrix (``DistanceCache.pairwise``).
+        dist0: RV-to-stop distances (``DistanceCache.from_point``).
+        demands: per-stop demand vector.
+        route: current visit order (stop indices), destination last.
+        remaining: unscheduled stop indices.
+
+    Returns:
+        ``(p, extra_cost)`` — both of shape
+        ``(len(route), len(remaining))``.
+    """
+    route = list(route)
+    remaining = list(remaining)
+    demands = np.asarray(demands, dtype=np.float64)
+
+    def _vec() -> Tuple[np.ndarray, np.ndarray]:
+        heads = route[:-1]  # gap-start stops beyond the RV itself
+        if heads:
+            d_ac = np.vstack([dist0[remaining], dmat[np.ix_(heads, remaining)]])
+            d_ab = np.concatenate(([dist0[route[0]]], dmat[heads, route[1:]]))
+        else:
+            d_ac = dist0[remaining][None, :]
+            d_ab = dist0[[route[0]]]
+        d_cb = dmat[np.ix_(route, remaining)]
+        detour = d_ac + d_cb - d_ab[:, None]  # (gaps, candidates)
+        dem = demands[remaining]
+        p = dem[None, :] - em_j_per_m * detour
+        extra = em_j_per_m * detour + (dem / charge_efficiency)[None, :]
+        return p, extra
+
+    def _ref() -> Tuple[np.ndarray, np.ndarray]:
+        k, r = len(route), len(remaining)
+        p = np.empty((k, r), dtype=np.float64)
+        extra = np.empty((k, r), dtype=np.float64)
+        for s in range(k):
+            d_ab = dist0[route[0]] if s == 0 else dmat[route[s - 1], route[s]]
+            for c in range(r):
+                n = remaining[c]
+                d_ac = dist0[n] if s == 0 else dmat[route[s - 1], n]
+                d_cb = dmat[route[s], n]
+                detour = d_ac + d_cb - d_ab
+                p[s, c] = demands[n] - em_j_per_m * detour
+                extra[s, c] = em_j_per_m * detour + demands[n] / charge_efficiency
+        return p, extra
+
+    return _dispatch(
+        "insertion_eval",
+        _vec,
+        _ref,
+        lambda a, b: np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1]),
+    )
+
+
+# ----------------------------------------------------------------------
+# K-means assignment kernel
+# ----------------------------------------------------------------------
+
+
+def kmeans_assign(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Index of the squared-nearest centroid for every point (Lloyd step).
+
+    Ties resolve to the lowest centroid index on both paths.
+    """
+    points = as_points(points)
+    centroids = as_points(centroids)
+
+    def _vec() -> np.ndarray:
+        diff = points[:, None, :] - centroids[None, :, :]
+        dist2 = diff[..., 0] ** 2 + diff[..., 1] ** 2
+        return np.argmin(dist2, axis=1).astype(np.intp, copy=False)
+
+    def _ref() -> np.ndarray:
+        labels = np.empty(len(points), dtype=np.intp)
+        for i in range(len(points)):
+            best = np.inf
+            best_j = -1
+            for j in range(len(centroids)):
+                d2 = (points[i, 0] - centroids[j, 0]) ** 2 + (
+                    points[i, 1] - centroids[j, 1]
+                ) ** 2
+                if d2 < best:
+                    best = d2
+                    best_j = j
+            labels[i] = best_j
+        return labels
+
+    return _dispatch("kmeans_assign", _vec, _ref, np.array_equal)
+
+
+# ----------------------------------------------------------------------
+# ETX uplink kernel (SimulationState.from_config)
+# ----------------------------------------------------------------------
+
+
+def uplink_etx_vector(
+    points: np.ndarray,
+    parent: np.ndarray,
+    n_sensors: int,
+    comm_range_m: float,
+) -> np.ndarray:
+    """Expected per-packet transmissions on each sensor's uplink.
+
+    One batched :func:`~repro.network.linkquality.prr_from_distance`
+    call over every parented sensor replaces the per-sensor 1-element
+    arrays the scalar loop built; entries are bit-identical (all the
+    PRR arithmetic is elementwise).
+    """
+    from ..network.linkquality import prr_from_distance
+
+    points = np.asarray(points, dtype=np.float64)
+    parent = np.asarray(parent)
+
+    def _vec() -> np.ndarray:
+        etx = np.ones(n_sensors, dtype=np.float64)
+        vs = np.flatnonzero(parent[:n_sensors] >= 0)
+        if vs.size:
+            diff = points[vs] - points[parent[vs]]
+            hops = np.hypot(diff[:, 0], diff[:, 1])
+            prr = prr_from_distance(hops, comm_range_m)
+            vals = np.ones_like(prr)
+            np.divide(1.0, prr * prr, out=vals, where=prr > 0)
+            etx[vs] = vals
+        return etx
+
+    def _ref() -> np.ndarray:
+        etx = np.ones(n_sensors, dtype=np.float64)
+        for v in range(n_sensors):
+            p = parent[v]
+            if p >= 0:
+                hop = float(np.hypot(*(points[v] - points[p])))
+                prr = float(prr_from_distance(np.array([hop]), comm_range_m)[0])
+                etx[v] = 1.0 / (prr * prr) if prr > 0 else 1.0
+        return etx
+
+    return _dispatch("uplink_etx", _vec, _ref, np.array_equal)

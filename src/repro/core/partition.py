@@ -20,7 +20,8 @@ from typing import Dict, List
 import numpy as np
 
 from ..cluster.kmeans import kmeans
-from ..geometry.points import distance
+from ..geometry.points import distances_from
+from . import kernels
 from .insertion import plan_single_rv_chained
 from .requests import RechargeNodeList
 from .scheduling import PlannedRoute, RVView
@@ -83,8 +84,11 @@ class PartitionScheduler:
         for rv in idle_rvs:
             if not unclaimed:
                 break
-            dists = [distance(rv.position, centroids[g]) for g in unclaimed]
-            pick = unclaimed.pop(int(np.argmin(dists)))
+            # Masked argmin over all centroid distances at once — the
+            # per-group `distance` loop this replaces measured the same
+            # hypot values one claim at a time.
+            dists = distances_from(rv.position, centroids[unclaimed])
+            pick = unclaimed.pop(kernels.masked_argmin(dists))
             group_requests = [snapshot[i] for i in groups[pick]]
             plan = plan_single_rv_chained(group_requests, rv)
             if plan is None or len(plan) == 0:

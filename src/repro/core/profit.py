@@ -21,6 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from ..geometry.points import as_points, distances_from, path_length
+from . import kernels
 
 __all__ = [
     "node_profits",
@@ -48,7 +49,9 @@ def node_profits(
         raise ValueError("demands must align with positions")
     if em_j_per_m < 0:
         raise ValueError("em_j_per_m must be non-negative")
-    return demands - em_j_per_m * distances_from(rv_position, positions)
+    return kernels.profit_vector(
+        demands, distances_from(rv_position, positions), em_j_per_m
+    )
 
 
 def route_travel_cost(

@@ -150,19 +150,40 @@ class AggregatedRequest:
         object.__setattr__(
             self, "position", np.asarray(self.position, dtype=np.float64).reshape(2)
         )
+        # Tour memo: the insertion trimming loop re-expands the same
+        # stops from the same entry points several times per plan; the
+        # stacked member array is also kept stable so the shared
+        # distance cache (keyed on array identity) hits across tours.
+        object.__setattr__(self, "_member_pts", None)
+        object.__setattr__(self, "_tour_memo", {})
 
     def member_ids(self) -> List[int]:
         return [r.node_id for r in self.members]
 
+    def member_positions(self) -> np.ndarray:
+        """``(nc, 2)`` member coordinates, stacked once per instance."""
+        if self._member_pts is None:
+            object.__setattr__(
+                self, "_member_pts", np.vstack([r.position for r in self.members])
+            )
+        return self._member_pts
+
     def visit_order_from(self, entry: np.ndarray) -> List[int]:
         """Member node ids in nearest-neighbour order from ``entry``.
 
-        This is the paper's O(nc^2) intra-cluster tour.
+        This is the paper's O(nc^2) intra-cluster tour.  Tours are
+        memoized per entry point (requests are immutable), so repeated
+        expansion during budget trimming re-measures nothing.
         """
-        pts = np.vstack([r.position for r in self.members])
-        order = nearest_neighbor_order(pts, start=entry)
-        ids = self.member_ids()
-        return [ids[i] for i in order]
+        entry = np.asarray(entry, dtype=np.float64).reshape(2)
+        key = entry.tobytes()
+        hit = self._tour_memo.get(key)
+        if hit is None:
+            order = nearest_neighbor_order(self.member_positions(), start=entry)
+            ids = self.member_ids()
+            hit = [ids[i] for i in order]
+            self._tour_memo[key] = hit
+        return list(hit)
 
 
 def aggregate_by_cluster(requests: Iterable[RechargeRequest]) -> List[AggregatedRequest]:

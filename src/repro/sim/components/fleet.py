@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from ...core import kernels
 from ...core.scheduling import RVView, Scheduler
 from ...mobility.vehicles import RechargingVehicle
 from ..trace import EventKind
@@ -70,6 +71,11 @@ class FleetController:
         obs = state.instruments
         self._t_dispatch = obs.timer("fleet.dispatch")
         self._t_assign = obs.timer("scheduler.assign")
+        # Which kernel path (numpy broadcasts vs reference loops) the
+        # scheduler's inner decisions took — mirrors the incremental /
+        # full recompute counters of the energy component.
+        self._c_kernel_vec = obs.counter("scheduler.kernel.vectorized")
+        self._c_kernel_ref = obs.counter("scheduler.kernel.reference")
         self._c_rounds = obs.counter("fleet.dispatch_rounds")
         self._c_sorties = obs.counter("fleet.sorties")
         self._c_legs = obs.counter("fleet.legs")
@@ -120,8 +126,11 @@ class FleetController:
         observe = getattr(self.scheduler, "observe_time", None)
         if observe is not None:
             observe(s.now)
+        calls_before = dict(kernels.KERNEL_CALLS)
         with self._t_assign:
             plans = self.scheduler.assign(s.requests, views, s.rng)
+        self._c_kernel_vec.inc(kernels.KERNEL_CALLS["vectorized"] - calls_before["vectorized"])
+        self._c_kernel_ref.inc(kernels.KERNEL_CALLS["reference"] - calls_before["reference"])
         logger.debug(
             "t=%.0fs: dispatch round, %d request(s), %d idle RV(s), %d sortie(s)",
             s.now, len(s.requests), len(views), len(plans),

@@ -28,7 +28,8 @@ from ...core.requests import RechargeNodeList
 from ...energy.battery import BatteryBank
 from ...energy.consumption import NodePowerModel
 from ...geometry.field import Field
-from ...network.linkquality import apply_etx_metric, prr_from_distance
+from ...core import kernels
+from ...network.linkquality import apply_etx_metric
 from ...network.routing import RoutingTree
 from ...network.topology import Topology
 from ...obs.instruments import NULL_INSTRUMENTS
@@ -129,13 +130,9 @@ class SimulationState:
             routing = RoutingTree(etx_topology)
             # Expected transmissions on each sensor's uplink: packets
             # relayed over a grey-zone link cost ETX times the energy.
-            uplink_etx = np.ones(n, dtype=np.float64)
-            for v in range(n):
-                p = routing.parent[v]
-                if p >= 0:
-                    hop = float(np.hypot(*(topology.points[v] - topology.points[p])))
-                    prr = float(prr_from_distance(np.array([hop]), config.comm_range_m)[0])
-                    uplink_etx[v] = 1.0 / (prr * prr) if prr > 0 else 1.0
+            uplink_etx = kernels.uplink_etx_vector(
+                topology.points, routing.parent, n, config.comm_range_m
+            )
         else:
             routing = RoutingTree(topology)
             uplink_etx = np.ones(n, dtype=np.float64)

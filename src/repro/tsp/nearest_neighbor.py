@@ -4,6 +4,13 @@ The paper guides the recharging tour *inside* a cluster with "a
 canonical TSP algorithm, such as the nearest neighbor algorithm with
 time complexity O(nc^2)" (Section IV-C).  This module implements exactly
 that heuristic for open paths starting from the RV's entry point.
+
+The per-step "nearest unvisited city" pick is a masked argmin kernel
+(:func:`repro.core.kernels.masked_argmin`); on the vectorized path the
+city/city legs come out of the shared distance cache's pairwise matrix
+(measured once) instead of a fresh ``distances_from`` per step.  Both
+paths are bit-identical — the matrix rows hold the same ``np.hypot``
+values the per-step measurement produces.
 """
 
 from __future__ import annotations
@@ -33,22 +40,27 @@ def nearest_neighbor_order(
         A permutation of ``range(n)`` as a Python list.  Ties resolve to
         the lowest index, keeping the heuristic deterministic.
     """
+    # Imported lazily: repro.core pulls this module in at package-init
+    # time (requests -> nearest_neighbor), so a module-level import of
+    # core.kernels here would be circular.
+    from ..core import kernels
+
     points = as_points(points)
     n = len(points)
     if n == 0:
         return []
+    cache = kernels.distance_cache_for(points) if kernels.vectorize_enabled() else None
     remaining = np.ones(n, dtype=bool)
     if start is not None:
-        d0 = distances_from(start, points)
-        current = int(np.argmin(d0))
+        d0 = cache.from_point(start) if cache is not None else distances_from(start, points)
+        current = kernels.masked_argmin(d0, remaining)
     else:
         current = 0
     order = [current]
     remaining[current] = False
     for _ in range(n - 1):
-        d = distances_from(points[current], points)
-        d[~remaining] = np.inf
-        current = int(np.argmin(d))
+        d = cache.row(current) if cache is not None else distances_from(points[current], points)
+        current = kernels.masked_argmin(d, remaining)
         order.append(current)
         remaining[current] = False
     return order

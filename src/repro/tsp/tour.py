@@ -8,7 +8,18 @@ import numpy as np
 
 from ..geometry.points import as_points
 
-__all__ = ["tour_length", "open_tour_length", "validate_tour"]
+__all__ = ["leg_lengths", "tour_length", "open_tour_length", "validate_tour"]
+
+
+def leg_lengths(waypoints: np.ndarray) -> np.ndarray:
+    """Length of each consecutive leg of a ``(k, 2)`` polyline.
+
+    The one vectorized measurement every route-length consumer (tour
+    utilities, route expansion, planned-route accounting) shares, so
+    they all sum the identical per-leg ``np.hypot`` values.
+    """
+    seg = np.diff(waypoints, axis=0)
+    return np.hypot(seg[:, 0], seg[:, 1])
 
 
 def open_tour_length(points: np.ndarray, order: Sequence[int]) -> float:
@@ -17,8 +28,7 @@ def open_tour_length(points: np.ndarray, order: Sequence[int]) -> float:
     order = np.asarray(order, dtype=np.intp)
     if order.size < 2:
         return 0.0
-    legs = points[order[1:]] - points[order[:-1]]
-    return float(np.hypot(legs[:, 0], legs[:, 1]).sum())
+    return float(leg_lengths(points[order]).sum())
 
 
 def tour_length(points: np.ndarray, order: Sequence[int]) -> float:

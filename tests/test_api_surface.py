@@ -33,6 +33,7 @@ MODULES = [
     "repro.core.extensions",
     "repro.core.greedy",
     "repro.core.insertion",
+    "repro.core.kernels",
     "repro.core.mip",
     "repro.core.partition",
     "repro.core.profit",

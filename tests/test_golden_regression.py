@@ -156,3 +156,33 @@ class TestGoldenPerScheduler:
             k: (got[k], expected[k]) for k in expected if got[k] != expected[k]
         }
         assert not mismatches, f"{scheduler} drifted: {mismatches}"
+
+
+class TestGoldenExecutionMatrix:
+    """The pinned summaries must survive every execution mode: serial
+    or process-pool (``jobs``), vectorized kernels or reference loops
+    (``REPRO_VECTORIZE``).  Workers inherit the knob through the
+    environment, so the 4-way matrix covers child processes too."""
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    @pytest.mark.parametrize("vectorize", ["0", "1"])
+    def test_matrix_bit_identical(self, monkeypatch, jobs, vectorize):
+        from repro.experiments.executor import map_configs
+
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_VECTORIZE", vectorize)
+        schedulers = ("greedy", "insertion")
+        configs = [
+            SimulationConfig(**{**GOLDEN_CONFIG, "scheduler": s}) for s in schedulers
+        ]
+        results = map_configs(configs, jobs=jobs)
+        for scheduler, summary in zip(schedulers, results):
+            got = summary.as_dict()
+            expected = GOLDEN_SUMMARIES[scheduler]
+            mismatches = {
+                k: (got[k], expected[k]) for k in expected if got[k] != expected[k]
+            }
+            assert not mismatches, (
+                f"{scheduler} drifted under jobs={jobs}, "
+                f"REPRO_VECTORIZE={vectorize}: {mismatches}"
+            )

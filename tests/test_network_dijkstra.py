@@ -54,6 +54,34 @@ class TestShortestPaths:
             else:
                 assert dist[v] == np.inf
 
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_scipy_csgraph(self, seed):
+        """Second independent oracle: scipy's C implementation on the
+        same CSR arrays (no graph conversion in between)."""
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import dijkstra as sp_dijkstra
+
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 40, size=(60, 2))
+        topo = Topology(pts, comm_range=10.0, base_station=[20.0, 20.0])
+        dist, parent = shortest_paths(topo.indptr, topo.indices, topo.weights, topo.base_index)
+        n = len(topo)
+        graph = csr_matrix((topo.weights, topo.indices, topo.indptr), shape=(n, n))
+        sp_dist = sp_dijkstra(graph, directed=True, indices=topo.base_index)
+        assert np.allclose(dist, sp_dist, equal_nan=True)
+
+    def test_negative_check_not_fooled_by_cache(self):
+        """A fresh negative array must still raise even after valid
+        arrays of the same shape were validated (identity keying)."""
+        indptr = np.array([0, 1, 2])
+        indices = np.array([1, 0], dtype=np.intp)
+        good = np.array([1.0, 1.0])
+        shortest_paths(indptr, indices, good, 0)
+        shortest_paths(indptr, indices, good, 0)  # second call hits the cache
+        bad = np.array([-1.0, 1.0])
+        with pytest.raises(ValueError):
+            shortest_paths(indptr, indices, bad, 0)
+
     def test_parent_pointers_consistent(self, rng):
         pts = rng.uniform(0, 30, size=(50, 2))
         topo = Topology(pts, comm_range=9.0)
