@@ -112,9 +112,10 @@ def emit(name: str, table: str, extra: Optional[Dict[str, Any]] = None) -> None:
     counts this way).
 
     Every call also appends a summary row (UTC timestamp, git revision,
-    scale, and any ``speedup*`` fields from ``extra``) to the file's
-    ``"history"`` list, preserved across runs — so perf trends are
-    machine-readable without scraping old CI logs.
+    scale, and any ``speedup*``, ``t_*`` or ``overhead*`` fields from
+    ``extra``) to the file's ``"history"`` list, preserved across runs
+    — so perf trends are machine-readable without scraping old CI logs,
+    and ``repro drift BENCH_<name>.json`` can diff the last two rows.
     """
     print("\n" + table)
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -153,6 +154,7 @@ def _history_row(payload: Dict[str, Any]) -> Dict[str, Any]:
         "scale": payload["scale"],
     }
     for key, value in payload.items():
-        if key.startswith("speedup") or key == "speedups":
+        if (key.startswith("speedup") or key == "speedups"
+                or key.startswith("t_") or key.startswith("overhead")):
             row[key] = value
     return row

@@ -6,15 +6,26 @@ changes that regress the engine show up in benchmark history:
 * building a 500-sensor world (deployment + topology + routing);
 * one vectorized energy advance over the whole bank;
 * one rate recomputation (activation + relay accounting);
-* a full small simulation end to end.
+* a full small simulation end to end;
+* the telemetry layer's overhead — a run with the flight recorder
+  disabled must stay within noise of the benchmark's own history
+  (the span/monitor touch points are supposed to be free when off).
 """
+
+import json
+import pathlib
+import time
 
 import numpy as np
 import pytest
 
+from repro.obs import Instruments, MonitorSet, SpanTracer
 from repro.sim.config import DAY_S, SimulationConfig
 from repro.sim.runner import run_simulation
 from repro.sim.world import World
+from repro.utils.tables import format_table
+
+from _shared import RESULTS_DIR, emit
 
 
 def bench_world_construction(benchmark):
@@ -68,3 +79,80 @@ def bench_small_run_end_to_end(benchmark):
     cfg = SimulationConfig.small(sim_time_s=0.5 * DAY_S, seed=1)
     summary = benchmark.pedantic(lambda: run_simulation(cfg), rounds=3, iterations=1)
     assert summary.sim_time_s == pytest.approx(0.5 * DAY_S)
+
+
+#: Allowed slowdown of the spans-disabled run against its own history.
+#: Generous because shared CI runners are noisy; a true regression from
+#: per-touch-point work shows up well above this.
+_NULL_OVERHEAD_MAX = 3.0
+
+
+def _best_of(fn, rounds=3):
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_telemetry_overhead():
+    """Guardrail: the flight recorder must be free when disabled.
+
+    Times the same fixed-seed run twice — with every observability hook
+    at its null default, and fully instrumented (instruments + spans +
+    strict monitors) — asserts both produce bit-identical summaries,
+    and records ``t_null_s`` / ``t_instrumented_s`` in benchmark
+    history.  The null timing is then held against the median of prior
+    history rows: if the spans-disabled path got ``_NULL_OVERHEAD_MAX``x
+    slower, some touch point stopped being free.
+    """
+    cfg = SimulationConfig.small(sim_time_s=0.5 * DAY_S, seed=1)
+    run_simulation(cfg)  # warm imports and numpy caches off the clock
+
+    t_null, plain = _best_of(lambda: run_simulation(cfg))
+
+    def instrumented():
+        mon = MonitorSet(instruments=Instruments(), spans=SpanTracer(),
+                         strict=True)
+        return World(cfg, instruments=mon.instruments, spans=mon.spans,
+                     monitors=mon).run()
+
+    t_instr, traced = _best_of(instrumented)
+
+    # Telemetry must never touch the trajectory.
+    assert traced.as_dict() == plain.as_dict()
+
+    overhead = t_instr / t_null if t_null > 0 else 0.0
+    table = format_table(
+        ["leg", "seconds"],
+        [
+            ["null (spans disabled)", round(t_null, 4)],
+            ["instrumented (spans+monitors)", round(t_instr, 4)],
+            ["overhead ratio", round(overhead, 2)],
+        ],
+        title="Telemetry overhead (0.5-day small run, best of 3)",
+    )
+    prior = _prior_null_timings()
+    emit("telemetry_overhead", table,
+         extra={"t_null_s": t_null, "t_instrumented_s": t_instr,
+                "overhead_ratio": overhead})
+    if not prior:
+        pytest.skip("no telemetry-overhead history yet; baseline recorded")
+    baseline = sorted(prior)[len(prior) // 2]
+    assert t_null <= baseline * _NULL_OVERHEAD_MAX, (
+        f"spans-disabled run took {t_null:.4f}s vs historical median "
+        f"{baseline:.4f}s (> {_NULL_OVERHEAD_MAX}x): the disabled "
+        f"telemetry path is no longer free"
+    )
+
+
+def _prior_null_timings():
+    """``t_null_s`` values from earlier benchmark history rows."""
+    path = pathlib.Path(RESULTS_DIR) / "BENCH_telemetry_overhead.json"
+    try:
+        history = json.loads(path.read_text()).get("history", [])
+    except (OSError, ValueError):
+        return []
+    return [row["t_null_s"] for row in history
+            if isinstance(row.get("t_null_s"), (int, float))]

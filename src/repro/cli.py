@@ -9,6 +9,8 @@ Commands:
 * ``map`` — run part of a simulation and draw the field (ASCII or SVG).
 * ``figure`` — regenerate one paper figure's table.
 * ``report`` — render an archived telemetry directory as tables.
+* ``drift`` — diff two telemetry/manifest directories (or a benchmark
+  history file) for metric drift; exit 1 when anything drifted.
 
 Every simulation command accepts ``--preset {small,experiment,paper}``
 plus individual overrides, or ``--config file.json`` (see
@@ -115,6 +117,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
             precision=4, title=f"cProfile: top {len(prof)} by cumulative time",
         ))
     return 0
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    from .obs.drift import (
+        diff_metrics,
+        format_drift,
+        load_history_pair,
+        load_metrics,
+    )
+
+    try:
+        if args.b is None:
+            a, b = load_history_pair(args.a)
+            label_a, label_b = "previous", "latest"
+        else:
+            a, b = load_metrics(args.a), load_metrics(args.b)
+            label_a, label_b = args.a, args.b
+    except (FileNotFoundError, ValueError, json.JSONDecodeError) as exc:
+        print(f"drift: {exc}", file=sys.stderr)
+        return 2
+    rows = diff_metrics(a, b, rtol=args.rtol, atol=args.atol)
+    print(format_drift(rows, label_a=label_a, label_b=label_b,
+                       show_ok=args.all, rtol=args.rtol, atol=args.atol))
+    return 1 if any(r["status"] != "ok" for r in rows) else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -295,6 +321,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser("report", help="render an archived telemetry directory")
     p_report.add_argument("directory", help="directory written by `repro run --telemetry`")
     p_report.set_defaults(func=_cmd_report)
+
+    p_drift = sub.add_parser(
+        "drift", help="compare two telemetry runs (or benchmark history) for metric drift"
+    )
+    p_drift.add_argument(
+        "a", help="telemetry directory, BENCH_*.json, or — with no second "
+                  "argument — a benchmark file whose last two history rows are compared",
+    )
+    p_drift.add_argument(
+        "b", nargs="?", default=None,
+        help="second telemetry directory or BENCH_*.json to compare against",
+    )
+    p_drift.add_argument(
+        "--rtol", type=float, default=0.05, metavar="R",
+        help="relative drift tolerance (default: 0.05)",
+    )
+    p_drift.add_argument(
+        "--atol", type=float, default=1e-9, metavar="A",
+        help="absolute drift tolerance (default: 1e-9)",
+    )
+    p_drift.add_argument(
+        "--all", action="store_true",
+        help="also list metrics within tolerance (default: drifted/missing only)",
+    )
+    p_drift.set_defaults(func=_cmd_drift)
 
     p_est = sub.add_parser("estimate", help="closed-form deployment estimates")
     _add_config_args(p_est)

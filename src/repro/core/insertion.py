@@ -239,6 +239,13 @@ class InsertionScheduler:
 
     name = "insertion"
 
+    #: Algorithm 3 aggregates co-clustered requests into super-nodes and
+    #: trims whole stops, so a plan serves each cluster's backlog
+    #: entirely or not at all.  The invariant monitors
+    #: (:mod:`repro.obs.monitors`) verify this for every scheduler that
+    #: advertises it (subclasses inherit the claim).
+    atomic_cluster_service = True
+
     def assign(
         self,
         requests: RechargeNodeList,

@@ -23,19 +23,27 @@ CLI exposes the same control as ``--jobs``.
 Observability: pass an :class:`repro.obs.Instruments` registry to
 record ``executor.cells`` / ``executor.cache_hits`` /
 ``executor.cache_misses`` counters and the ``executor.map`` phase
-timer.
+timer.  Pass a :class:`repro.obs.SpanTracer` as ``spans`` and the
+fan-out becomes part of the flight-recorder trace: every cache miss
+runs through :func:`_run_cell_traced` (in the pool when ``jobs > 1``),
+its serialized child spans are merged under the parent ``executor.map``
+span in miss order with deterministically renumbered ids, and cache
+hits are recorded as events — so a ``--jobs 4`` trace reads exactly
+like the serial one.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..obs.instruments import NULL_INSTRUMENTS
+from ..obs.spans import NULL_TRACER, SpanTracer
 from ..sim.config import SimulationConfig
 from ..sim.metrics import SimulationSummary
 from ..sim.runner import run_simulation
+from ..sim.world import World
 
 __all__ = ["CellKey", "default_jobs", "map_cells", "map_configs", "sweep_grid"]
 
@@ -70,10 +78,27 @@ def _pool_start_method() -> str:
     return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
 
 
+def _run_cell_traced(
+    config: SimulationConfig,
+) -> Tuple[SimulationSummary, List[Dict[str, Any]]]:
+    """Pool worker: run one cell under a fresh span tracer.
+
+    Returns the summary plus the serialized span rows (plain dicts, so
+    they pickle across the pool boundary).  The worker's root span is
+    the world's ``run`` span; the parent re-roots it under its own
+    sweep span.  Spans never touch the trajectory, so the summary is
+    bit-identical to :func:`repro.sim.runner.run_simulation`.
+    """
+    tracer = SpanTracer()
+    summary = World(config, spans=tracer).run()
+    return summary, tracer.to_rows()
+
+
 def map_configs(
     configs: Sequence[SimulationConfig],
     jobs: Optional[int] = None,
     instruments=None,
+    spans=None,
 ) -> List[SimulationSummary]:
     """Run every configuration, in order, through cache + process pool.
 
@@ -82,29 +107,57 @@ def map_configs(
     configurations serially.  Cache lookups and stores happen in the
     parent process; only misses are executed (in the pool when
     ``jobs > 1``).
+
+    With a ``spans`` tracer, each miss runs under a child tracer whose
+    rows are absorbed under this call's ``executor.map`` span in miss
+    order (deterministic id renumbering), and cache hits become
+    ``executor.cache_hit`` events — the merged trace is identical in
+    structure for any ``jobs`` value.
     """
     from .cache import cache_lookup, cache_store
 
     obs = instruments if instruments is not None else NULL_INSTRUMENTS
+    sp = spans if spans is not None else NULL_TRACER
     n_jobs = default_jobs() if jobs is None else int(jobs)
     if n_jobs < 1:
         raise ValueError("jobs must be >= 1")
 
     results: List[Optional[SimulationSummary]] = [None] * len(configs)
     misses: List[int] = []
-    with obs.timer("executor.map"):
+    with obs.timer("executor.map"), sp.span(
+        "executor.map", cells=len(configs), jobs=n_jobs
+    ) as sweep_span:
         for i, cfg in enumerate(configs):
             hit = cache_lookup(cfg)
             if hit is not None:
                 results[i] = hit
+                if sp.enabled:
+                    sp.event(
+                        "executor.cache_hit",
+                        cell=i, scheduler=cfg.scheduler, erp=cfg.erp, seed=cfg.seed,
+                    )
             else:
                 misses.append(i)
         obs.counter("executor.cells").inc(len(configs))
         obs.counter("executor.cache_hits").inc(len(configs) - len(misses))
         obs.counter("executor.cache_misses").inc(len(misses))
+        sweep_span.set(cache_hits=len(configs) - len(misses))
         if misses:
             todo = [configs[i] for i in misses]
-            if n_jobs == 1 or len(todo) == 1:
+            if sp.enabled:
+                if n_jobs == 1 or len(todo) == 1:
+                    traced = [_run_cell_traced(c) for c in todo]
+                else:
+                    ctx = multiprocessing.get_context(_pool_start_method())
+                    with ctx.Pool(min(n_jobs, len(todo))) as pool:
+                        traced = pool.map(_run_cell_traced, todo)
+                fresh = []
+                for i, (summary, rows) in zip(misses, traced):
+                    sp.absorb(
+                        rows, parent=sweep_span, root_attrs={"cell": i, "cache": "miss"}
+                    )
+                    fresh.append(summary)
+            elif n_jobs == 1 or len(todo) == 1:
                 fresh = [run_simulation(c) for c in todo]
             else:
                 ctx = multiprocessing.get_context(_pool_start_method())
@@ -137,6 +190,7 @@ def map_cells(
     erps: Sequence[float],
     jobs: Optional[int] = None,
     instruments=None,
+    spans=None,
     **overrides,
 ) -> Dict[CellKey, SimulationSummary]:
     """Execute a whole ERP x scheduler sweep grid, one run per key.
@@ -153,5 +207,5 @@ def map_cells(
         scale.base_config(scheduler=sched, erp=erp, **overrides).with_overrides(seed=seed)
         for sched, erp, seed in keys
     ]
-    summaries = map_configs(configs, jobs=jobs, instruments=instruments)
+    summaries = map_configs(configs, jobs=jobs, instruments=instruments, spans=spans)
     return dict(zip(keys, summaries))

@@ -3,16 +3,21 @@
 Instrumented runs answer *why* a result looks the way it does: named
 counters, gauges, histograms and wall-clock phase timers
 (:mod:`repro.obs.instruments`) are recorded by the simulation
-components, exported through pluggable, registry-named formats
-(:mod:`repro.obs.exporters`: ``jsonl``, ``prometheus``, ``csv``), and
-archived with a provenance :class:`RunManifest`
-(:mod:`repro.obs.manifest`).  ``repro report DIR`` renders an archived
-directory back into tables (:mod:`repro.obs.report`).
+components, hierarchical spans (:mod:`repro.obs.spans`) replay the run
+tick by tick, runtime invariant monitors (:mod:`repro.obs.monitors`)
+trip on conservation/threshold/capacity violations, and everything is
+exported through pluggable, registry-named formats
+(:mod:`repro.obs.exporters`: ``jsonl``, ``prometheus``, ``csv``,
+``spans``, ``sqlite``) and archived with a provenance
+:class:`RunManifest` (:mod:`repro.obs.manifest`).  ``repro report DIR``
+renders an archived directory back into tables and a span tree
+(:mod:`repro.obs.report`); ``repro drift A B`` diffs two archives
+(:mod:`repro.obs.drift`).
 
 The package deliberately never imports :mod:`repro.sim` — the
-simulation state holds an ``instruments`` reference, so the dependency
-points one way.  The run-level glue lives in
-:func:`repro.sim.runner.run_with_telemetry`.
+simulation state holds ``instruments``/``spans``/``monitors``
+references, so the dependency points one way.  The run-level glue
+lives in :func:`repro.sim.runner.run_with_telemetry`.
 
 Quickstart::
 
@@ -23,14 +28,18 @@ Quickstart::
         SimulationConfig.small(), "telemetry_out"
     )
     # telemetry_out/ now holds manifest.json, events.jsonl,
-    # metrics.jsonl, metrics.prom, series.csv, instruments.csv
+    # metrics.jsonl, metrics.prom, series.csv, instruments.csv,
+    # spans.jsonl
 """
 
+from .drift import diff_metrics, format_drift, load_metrics
 from .exporters import (
     DEFAULT_EXPORTERS,
     CsvExporter,
     JsonlExporter,
     PrometheusExporter,
+    SpansExporter,
+    SqliteExporter,
     TelemetryBundle,
 )
 from .instruments import (
@@ -43,7 +52,22 @@ from .instruments import (
     PhaseTimer,
 )
 from .manifest import RunManifest, config_digest, git_revision
+from .monitors import (
+    NULL_MONITORS,
+    InvariantViolation,
+    MonitorSet,
+    NullMonitors,
+)
 from .report import format_report, load_report
+from .spans import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanTracer,
+    load_spans,
+    render_span_tree,
+    spans_to_jsonl_lines,
+)
 
 __all__ = [
     "Counter",
@@ -52,15 +76,31 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Instruments",
+    "InvariantViolation",
     "JsonlExporter",
+    "MonitorSet",
     "NULL_INSTRUMENTS",
+    "NULL_MONITORS",
+    "NULL_TRACER",
     "NullInstruments",
+    "NullMonitors",
+    "NullTracer",
     "PhaseTimer",
     "PrometheusExporter",
     "RunManifest",
+    "Span",
+    "SpanTracer",
+    "SpansExporter",
+    "SqliteExporter",
     "TelemetryBundle",
     "config_digest",
+    "diff_metrics",
+    "format_drift",
     "format_report",
     "git_revision",
+    "load_metrics",
     "load_report",
+    "load_spans",
+    "render_span_tree",
+    "spans_to_jsonl_lines",
 ]

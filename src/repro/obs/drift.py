@@ -1,0 +1,164 @@
+"""Cross-run drift detection over archived telemetry and benchmarks.
+
+``repro drift A B`` compares the *deterministic* metrics of two
+archives — summary metrics, instrument counters and gauges from a
+telemetry directory's ``manifest.json``, or the recorded speedups of a
+``BENCH_*.json`` benchmark file — and reports every metric whose
+relative/absolute delta exceeds the configured tolerances.  Wall-clock
+phase timers are deliberately excluded: they are machine noise, not
+drift.
+
+``repro drift BENCH_x.json`` (one argument) diffs the file's last two
+append-only history rows, so a perf regression shows up without
+keeping two checkouts around.
+
+Exit codes: 0 (no drift), 1 (drift detected), 2 (usage/IO error) —
+scriptable in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..utils.tables import format_table
+from .manifest import MANIFEST_FILENAME
+
+__all__ = ["diff_metrics", "format_drift", "load_metrics", "load_history_pair"]
+
+
+def _flatten(prefix: str, value: Any, out: Dict[str, float]) -> None:
+    """Flatten nested dicts of numbers into dotted metric names."""
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        out[prefix] = float(value)
+    elif isinstance(value, dict):
+        for key, sub in value.items():
+            _flatten(f"{prefix}.{key}" if prefix else str(key), sub, out)
+
+
+def load_metrics(path: Union[str, Path]) -> Dict[str, float]:
+    """Deterministic metrics from a telemetry dir or BENCH json file.
+
+    * a directory: its ``manifest.json`` — ``summary.*`` metrics plus
+      instrument ``counter.*`` and ``gauge.*`` values (timers and
+      histogram timings are wall-clock noise and are skipped);
+    * a ``BENCH_*.json`` file: the numeric fields of its latest
+      ``history`` row (speedups, worker counts), prefixed ``bench.``.
+    """
+    p = Path(path)
+    if p.is_dir():
+        manifest_path = p / MANIFEST_FILENAME
+        if not manifest_path.is_file():
+            raise FileNotFoundError(
+                f"no {MANIFEST_FILENAME} under {p} "
+                f"(run `repro run --telemetry {p}` first)"
+            )
+        data = json.loads(manifest_path.read_text())
+        out: Dict[str, float] = {}
+        _flatten("summary", data.get("summary", {}), out)
+        instruments = data.get("instruments", {})
+        _flatten("counter", instruments.get("counters", {}), out)
+        _flatten("gauge", instruments.get("gauges", {}), out)
+        # Histogram value statistics are deterministic (counts of
+        # observed Joules/stops), unlike timers.
+        for name, summary in instruments.get("histograms", {}).items():
+            _flatten(f"histogram.{name}", summary, out)
+        return out
+    if p.is_file():
+        data = json.loads(p.read_text())
+        history = data.get("history") or []
+        row = history[-1] if history else data
+        out = {}
+        _flatten("bench", row, out)
+        return out
+    raise FileNotFoundError(f"{p} is neither a telemetry directory nor a file")
+
+
+def load_history_pair(path: Union[str, Path]) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """The last two history rows of one ``BENCH_*.json``, flattened."""
+    data = json.loads(Path(path).read_text())
+    history = data.get("history") or []
+    if len(history) < 2:
+        raise ValueError(
+            f"{path} has {len(history)} history row(s); need at least 2 to diff"
+        )
+    a: Dict[str, float] = {}
+    b: Dict[str, float] = {}
+    _flatten("bench", history[-2], a)
+    _flatten("bench", history[-1], b)
+    return a, b
+
+
+def diff_metrics(
+    a: Dict[str, float],
+    b: Dict[str, float],
+    rtol: float = 0.01,
+    atol: float = 1e-9,
+) -> List[Dict[str, Any]]:
+    """Per-metric comparison rows, drifted metrics first.
+
+    A metric drifts when ``|a - b| > atol + rtol * max(|a|, |b|)``;
+    metrics present on only one side always count as drift.
+    """
+    rows: List[Dict[str, Any]] = []
+    for key in sorted(set(a) | set(b)):
+        va = a.get(key)
+        vb = b.get(key)
+        if va is None or vb is None:
+            rows.append({
+                "metric": key, "a": va, "b": vb, "delta": None,
+                "status": "only_a" if vb is None else "only_b",
+            })
+            continue
+        delta = vb - va
+        scale = max(abs(va), abs(vb))
+        drifted = abs(delta) > atol + rtol * scale
+        rows.append({
+            "metric": key,
+            "a": va,
+            "b": vb,
+            "delta": delta,
+            "rel": (delta / scale) if scale > 0 else 0.0,
+            "status": "drift" if drifted else "ok",
+        })
+    rows.sort(key=lambda r: (r["status"] == "ok", r["metric"]))
+    return rows
+
+
+def format_drift(
+    rows: List[Dict[str, Any]],
+    label_a: str = "A",
+    label_b: str = "B",
+    show_ok: bool = False,
+    rtol: float = 0.01,
+    atol: float = 1e-9,
+) -> str:
+    """Render :func:`diff_metrics` rows as a table plus a verdict line."""
+    drifted = [r for r in rows if r["status"] != "ok"]
+    shown = rows if show_ok else drifted
+    blocks: List[str] = []
+    if shown:
+        table_rows = []
+        for r in shown:
+            table_rows.append([
+                r["metric"],
+                "-" if r["a"] is None else f"{r['a']:.6g}",
+                "-" if r["b"] is None else f"{r['b']:.6g}",
+                "-" if r.get("delta") is None else f"{r['delta']:+.6g}",
+                r["status"],
+            ])
+        blocks.append(format_table(
+            ["metric", label_a, label_b, "delta", "status"],
+            table_rows,
+            title=f"Drift report (rtol={rtol:g}, atol={atol:g})",
+        ))
+    verdict = (
+        f"{len(drifted)} metric(s) drifted out of {len(rows)} compared"
+        if drifted
+        else f"no drift across {len(rows)} metric(s)"
+    )
+    blocks.append(verdict)
+    return "\n\n".join(blocks)

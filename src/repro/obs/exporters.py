@@ -2,16 +2,16 @@
 
 An exporter turns one run's :class:`TelemetryBundle` — the instrument
 snapshot, the final summary, the configuration, and (optionally) the
-trace recorder — into files inside a telemetry directory.  Exporters
-register in :data:`repro.registry.EXPORTERS` exactly like schedulers
-register in ``SCHEDULERS``, so third parties can add formats without
-touching the runner or the CLI::
+trace recorder and span tracer — into files inside a telemetry
+directory.  Exporters register in :data:`repro.registry.EXPORTERS`
+exactly like schedulers register in ``SCHEDULERS``, so third parties
+can add formats without touching the runner or the CLI::
 
     from repro.registry import EXPORTERS
 
-    @EXPORTERS.register("sqlite")
+    @EXPORTERS.register("parquet")
     def _build():
-        return MySqliteExporter()
+        return MyParquetExporter()
 
 Built-ins:
 
@@ -19,7 +19,13 @@ Built-ins:
   plus ``metrics.jsonl`` (one JSON object per instrument);
 * ``prometheus`` — ``metrics.prom``, a Prometheus text-format snapshot;
 * ``csv`` — ``series.csv`` (long-format trace time series) and
-  ``instruments.csv``.
+  ``instruments.csv``;
+* ``spans`` — ``spans.jsonl``, the hierarchical span tree
+  (:mod:`repro.obs.spans`), one span per line in open order;
+* ``sqlite`` — ``telemetry.sqlite``, a stdlib :mod:`sqlite3` database
+  with one table for instruments and one for span rows (queryable
+  without loading JSON; not in the defaults — opt in with
+  ``--exporters``).
 
 This module never imports :mod:`repro.sim`; the trace is duck-typed
 (anything with ``events``, ``series`` and ``to_jsonl_lines()`` works),
@@ -31,6 +37,7 @@ from __future__ import annotations
 
 import csv
 import json
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -41,12 +48,14 @@ __all__ = [
     "CsvExporter",
     "JsonlExporter",
     "PrometheusExporter",
+    "SpansExporter",
+    "SqliteExporter",
     "TelemetryBundle",
     "DEFAULT_EXPORTERS",
 ]
 
 #: The exporter names a telemetry run enables when none are requested.
-DEFAULT_EXPORTERS = ("jsonl", "prometheus", "csv")
+DEFAULT_EXPORTERS = ("jsonl", "prometheus", "csv", "spans")
 
 
 @dataclass
@@ -59,18 +68,50 @@ class TelemetryBundle:
         config: the run's ``config_to_dict`` view.
         trace: the run's ``TraceRecorder`` (or ``None`` when only
             instruments were collected).
+        spans: the run's ``SpanTracer`` (or ``None`` when no spans
+            were recorded).  Duck-typed: anything with ``to_rows()``
+            and ``to_jsonl_lines()`` works.
     """
 
     instruments: Dict[str, Any] = field(default_factory=dict)
     summary: Dict[str, float] = field(default_factory=dict)
     config: Dict[str, Any] = field(default_factory=dict)
     trace: Optional[Any] = None
+    spans: Optional[Any] = None
+
+
+# Prometheus exposition format 0.0.4: metric names must match
+# [a-zA-Z_:][a-zA-Z0-9_:]*.  Colons are reserved for recording rules,
+# so every other character maps to "_" and runs collapse to one.
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+_PROM_COLLAPSE = re.compile(r"__+")
 
 
 def _prom_name(name: str) -> str:
-    """A dotted instrument name as a Prometheus metric name."""
-    safe = "".join(c if c.isalnum() else "_" for c in name)
+    """A dotted instrument name as a valid Prometheus metric name.
+
+    ``fleet.rv0.delivered-j`` -> ``repro_fleet_rv0_delivered_j``: every
+    invalid character (dots, dashes, unicode) becomes ``_``, duplicate
+    underscores collapse, and the ``repro_`` prefix keeps the first
+    character legal even for names starting with a digit.
+    """
+    safe = _PROM_COLLAPSE.sub("_", _PROM_INVALID.sub("_", name)).strip("_")
     return f"repro_{safe}"
+
+
+def _prom_unique(metric: str, used: set) -> str:
+    """Disambiguate sanitized-name collisions (``a.b`` vs ``a_b``).
+
+    Duplicate metric names would make the exposition invalid, so later
+    claimants get a numbered suffix.
+    """
+    candidate = metric
+    n = 2
+    while candidate in used:
+        candidate = f"{metric}_dup{n}"
+        n += 1
+    used.add(candidate)
+    return candidate
 
 
 class JsonlExporter:
@@ -119,29 +160,30 @@ class PrometheusExporter:
 
     def export(self, out_dir: Path, bundle: TelemetryBundle) -> List[Path]:
         lines: List[str] = []
+        used: set = set()
         snap = bundle.instruments
         for name, value in snap.get("counters", {}).items():
-            metric = _prom_name(name) + "_total"
+            metric = _prom_unique(_prom_name(name) + "_total", used)
             lines += [f"# TYPE {metric} counter", f"{metric} {value:g}"]
         for name, value in snap.get("gauges", {}).items():
-            metric = _prom_name(name)
+            metric = _prom_unique(_prom_name(name), used)
             lines += [f"# TYPE {metric} gauge", f"{metric} {value:g}"]
         for name, summary in snap.get("histograms", {}).items():
-            metric = _prom_name(name)
+            metric = _prom_unique(_prom_name(name), used)
             lines += [
                 f"# TYPE {metric} summary",
                 f"{metric}_count {summary['count']:g}",
                 f"{metric}_sum {summary['total']:g}",
             ]
         for name, summary in snap.get("timers", {}).items():
-            metric = _prom_name(name) + "_seconds"
+            metric = _prom_unique(_prom_name(name) + "_seconds", used)
             lines += [
                 f"# TYPE {metric} summary",
                 f"{metric}_count {summary['count']:g}",
                 f"{metric}_sum {summary['total_s']:g}",
             ]
         for key, value in bundle.summary.items():
-            metric = _prom_name(f"summary.{key}")
+            metric = _prom_unique(_prom_name(f"summary.{key}"), used)
             lines += [f"# TYPE {metric} gauge", f"{metric} {value:g}"]
         path = Path(out_dir) / "metrics.prom"
         path.write_text("\n".join(lines) + "\n")
@@ -184,6 +226,93 @@ class CsvExporter:
         return written
 
 
+class SpansExporter:
+    """``spans.jsonl``: the hierarchical span tree, one span per line.
+
+    The format round-trips byte-for-byte through
+    :func:`repro.obs.spans.load_spans` /
+    :func:`repro.obs.spans.spans_to_jsonl_lines`, and ``repro report``
+    renders it as an aggregated tree.  Writes nothing when the bundle
+    carries no span tracer.
+    """
+
+    def export(self, out_dir: Path, bundle: TelemetryBundle) -> List[Path]:
+        if bundle.spans is None:
+            return []
+        path = Path(out_dir) / "spans.jsonl"
+        with open(path, "w") as f:
+            for line in bundle.spans.to_jsonl_lines():
+                f.write(line + "\n")
+        return [path]
+
+
+class SqliteExporter:
+    """``telemetry.sqlite``: instruments and spans as queryable tables.
+
+    Two tables, per the documented third-party-exporter contract:
+
+    * ``instruments(kind, name, field, value)`` — the flattened
+      instrument snapshot (same rows as ``instruments.csv``) plus the
+      final summary metrics under ``kind='summary'``;
+    * ``spans(span_id, parent_id, name, t0, t1, duration_s, attrs,
+      events)`` — one row per span, attributes and events as JSON text.
+
+    Uses only the stdlib :mod:`sqlite3`; an existing database at the
+    target path is replaced so re-exports stay idempotent.
+    """
+
+    def export(self, out_dir: Path, bundle: TelemetryBundle) -> List[Path]:
+        import sqlite3
+
+        path = Path(out_dir) / "telemetry.sqlite"
+        if path.exists():
+            path.unlink()
+        conn = sqlite3.connect(path)
+        try:
+            conn.execute(
+                "CREATE TABLE instruments "
+                "(kind TEXT, name TEXT, field TEXT, value REAL)"
+            )
+            rows: List[tuple] = []
+            snap = bundle.instruments
+            for kind in ("counters", "gauges"):
+                for name, value in snap.get(kind, {}).items():
+                    rows.append((kind[:-1], name, "value", float(value)))
+            for kind in ("histograms", "timers"):
+                for name, summary in snap.get(kind, {}).items():
+                    for fieldname, value in summary.items():
+                        rows.append((kind[:-1], name, fieldname, float(value)))
+            for key, value in bundle.summary.items():
+                rows.append(("summary", key, "value", float(value)))
+            conn.executemany("INSERT INTO instruments VALUES (?, ?, ?, ?)", rows)
+            conn.execute(
+                "CREATE TABLE spans (span_id INTEGER PRIMARY KEY, "
+                "parent_id INTEGER, name TEXT, t0 REAL, t1 REAL, "
+                "duration_s REAL, attrs TEXT, events TEXT)"
+            )
+            if bundle.spans is not None:
+                conn.executemany(
+                    "INSERT INTO spans VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    [
+                        (
+                            row["id"],
+                            row["parent"],
+                            row["name"],
+                            row["t0"],
+                            row["t1"],
+                            row["t1"] - row["t0"],
+                            json.dumps(row["attrs"]),
+                            json.dumps(row["events"]),
+                        )
+                        for row in bundle.spans.to_rows()
+                    ],
+                )
+            conn.commit()
+        finally:
+            conn.close()
+        return [path]
+
+
 EXPORTERS.register(
     "jsonl",
     JsonlExporter,
@@ -198,4 +327,14 @@ EXPORTERS.register(
     "csv",
     CsvExporter,
     doc="series.csv + instruments.csv time-series tables.",
+)
+EXPORTERS.register(
+    "spans",
+    SpansExporter,
+    doc="spans.jsonl: hierarchical span tree (flight-recorder trace).",
+)
+EXPORTERS.register(
+    "sqlite",
+    SqliteExporter,
+    doc="telemetry.sqlite: instruments + spans as queryable tables.",
 )

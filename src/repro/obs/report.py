@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Union
 
 from ..utils.tables import format_table
 from .manifest import RunManifest
+from .spans import load_spans, render_span_tree
 
 __all__ = ["load_report", "format_report"]
 
@@ -25,12 +26,15 @@ def load_report(directory: Union[str, Path]) -> Dict[str, Any]:
 
     Returns a dict with the ``manifest`` (a :class:`RunManifest`) and,
     when present, ``event_counts`` / ``sample_counts`` aggregated from
-    ``events.jsonl``.  Raises ``FileNotFoundError`` if the directory has
-    no manifest.
+    ``events.jsonl`` and the raw ``spans`` rows from ``spans.jsonl``.
+    Raises ``FileNotFoundError`` if the directory has no manifest.
     """
     directory = Path(directory)
     manifest = RunManifest.load(directory)
     out: Dict[str, Any] = {"manifest": manifest, "directory": directory}
+    spans_path = directory / "spans.jsonl"
+    if spans_path.is_file():
+        out["spans"] = load_spans(spans_path)
     events_path = directory / "events.jsonl"
     if events_path.is_file():
         event_counts: Dict[str, int] = {}
@@ -107,5 +111,13 @@ def format_report(data: Dict[str, Any]) -> str:
         rows = sorted(data["event_counts"].items(), key=lambda kv: -kv[1])
         blocks.append(format_table(["trace event", "count"], rows,
                                    title="events.jsonl"))
+
+    if data.get("spans"):
+        spans = data["spans"]
+        blocks.append(
+            f"Span tree ({len(spans)} span(s), spans.jsonl; "
+            "name x count, wall-clock total):\n"
+            + render_span_tree(spans)
+        )
 
     return "\n\n".join(blocks)

@@ -1,0 +1,402 @@
+"""Hierarchical wall-clock spans: the run's flight recorder.
+
+A *span* is one timed piece of work with a name, a parent, structured
+attributes and point-in-time events — the per-decision analogue of the
+aggregate :class:`~repro.obs.instruments.PhaseTimer`.  The simulation
+opens spans around the run, every tick/dispatch/relocation event and
+each component phase (``energy.advance``, ``scheduler.assign``, ...),
+so an archived ``spans.jsonl`` replays *which tick, which cluster,
+which scheduler decision* produced a result.
+
+The tracer follows the same opt-in contract as
+:class:`~repro.obs.instruments.NullInstruments`: the default
+:class:`NullTracer` hands out one shared no-op span, so an
+uninstrumented run pays an attribute load and an empty context manager
+per touch point and nothing else.
+
+Serialization round-trips exactly: :meth:`SpanTracer.to_jsonl_lines`
+emits one JSON object per span in open order with a fixed key order,
+:func:`load_spans` reads them back, and re-dumping loaded rows with
+:func:`spans_to_jsonl_lines` reproduces the file byte for byte (JSON
+floats are shortest-round-trip).  Attribute values are coerced to
+JSON-native types at record time so live rows and reloaded rows are
+interchangeable.
+
+Process pools: a worker serializes its tracer with :meth:`to_rows`;
+the parent calls :meth:`absorb` to splice the rows under its own sweep
+span, renumbering ids deterministically (rows in open order, one new id
+each), so a ``--jobs N`` trace reads exactly like the serial one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanTracer",
+    "load_spans",
+    "render_span_tree",
+    "spans_to_jsonl_lines",
+]
+
+import time
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce an attribute value to a JSON-native equivalent.
+
+    Live spans must serialize to exactly what a reload would produce,
+    so tuples become lists and numpy scalars become python numbers at
+    record time, not at dump time.
+    """
+    if value is None or type(value) in (bool, int, float, str):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    tolist = getattr(value, "tolist", None)  # numpy scalars and arrays
+    if tolist is not None:
+        return _json_safe(tolist())
+    if isinstance(value, bool):
+        return bool(value)
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, str):
+        return str(value)
+    return str(value)
+
+
+class Span:
+    """One timed unit of work in the span tree.
+
+    ``t0``/``t1`` are ``time.perf_counter`` readings (durations are
+    meaningful; absolute values are process-relative).  ``attrs`` holds
+    structured context (cluster id, RV id, profit delta, cache
+    hit/miss); ``events`` are timestamped point occurrences inside the
+    span (sortie assignments, invariant violations).
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "t0", "t1", "attrs", "events")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        t0: float = 0.0,
+        t1: float = 0.0,
+        attrs: Optional[Dict[str, Any]] = None,
+        events: Optional[List[Dict[str, Any]]] = None,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.t0 = t0
+        self.t1 = t1
+        self.attrs = attrs if attrs is not None else {}
+        self.events = events if events is not None else []
+
+    @property
+    def duration_s(self) -> float:
+        return self.t1 - self.t0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) structured attributes."""
+        for key, value in attrs.items():
+            self.attrs[key] = _json_safe(value)
+        return self
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time event inside this span."""
+        record: Dict[str, Any] = {"name": name, "t": time.perf_counter()}
+        for key, value in attrs.items():
+            record[key] = _json_safe(value)
+        self.events.append(record)
+
+    def to_row(self) -> Dict[str, Any]:
+        """The canonical JSON row (fixed key order for byte round-trips)."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "t0": self.t0,
+            "t1": self.t1,
+            "attrs": self.attrs,
+            "events": self.events,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.span_id}, parent={self.parent_id}, {self.name!r}, "
+            f"{self.duration_s:.6f}s)"
+        )
+
+
+class _SpanContext:
+    """Context manager opening one span on a tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "SpanTracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._span = tracer._open(name, attrs)
+
+    def __enter__(self) -> Span:
+        self._span.t0 = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._span.t1 = time.perf_counter()
+        self._tracer._close(self._span)
+
+
+class SpanTracer:
+    """Records a tree of spans (the live side of ``spans.jsonl``).
+
+    ``span(name, **attrs)`` opens a child of the currently open span (a
+    root when the stack is empty) and is used as a context manager;
+    ``event(name, **attrs)`` attaches to the innermost open span and is
+    dropped when none is open.  Spans are kept in open order with
+    sequential ids starting at 1 — a deterministic layout given a
+    deterministic call sequence, which the ``--jobs N`` merge relies on.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- recording ----------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        return _SpanContext(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        if self._stack:
+            self._stack[-1].event(name, **attrs)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def _open(self, name: str, attrs: Dict[str, Any]) -> Span:
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(self._next_id, parent, name)
+        if attrs:
+            span.set(**attrs)
+        self._next_id += 1
+        self._spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        # Spans close strictly LIFO (they are `with` blocks).
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+    # -- merging (process-pool support) -------------------------------
+
+    def absorb(
+        self,
+        rows: Iterable[Dict[str, Any]],
+        parent: Optional[Span] = None,
+        root_attrs: Optional[Dict[str, Any]] = None,
+    ) -> List[Span]:
+        """Splice serialized spans from another tracer under ``parent``.
+
+        Ids are renumbered in row order (each row takes the next id of
+        this tracer), internal parent links are remapped, and rows that
+        were roots in the worker become children of ``parent`` (or stay
+        roots).  ``root_attrs`` merges extra attributes into those
+        re-rooted rows (the executor tags cells with their grid index
+        and cache status this way).
+        """
+        mapping: Dict[int, int] = {}
+        absorbed: List[Span] = []
+        for row in rows:
+            old_id = row["id"]
+            new_id = self._next_id
+            self._next_id += 1
+            mapping[old_id] = new_id
+            old_parent = row.get("parent")
+            if old_parent is None:
+                parent_id = parent.span_id if parent is not None else None
+            else:
+                parent_id = mapping.get(old_parent)
+            span = Span(
+                new_id,
+                parent_id,
+                row["name"],
+                t0=row.get("t0", 0.0),
+                t1=row.get("t1", 0.0),
+                attrs=dict(row.get("attrs", {})),
+                events=list(row.get("events", [])),
+            )
+            if old_parent is None and root_attrs:
+                span.set(**root_attrs)
+            self._spans.append(span)
+            absorbed.append(span)
+        return absorbed
+
+    # -- serialization ------------------------------------------------
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """All spans as JSON rows, in open order."""
+        return [span.to_row() for span in self._spans]
+
+    def to_jsonl_lines(self) -> List[str]:
+        return spans_to_jsonl_lines(self.to_rows())
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w") as f:
+            for line in self.to_jsonl_lines():
+                f.write(line + "\n")
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+def spans_to_jsonl_lines(rows: Iterable[Dict[str, Any]]) -> List[str]:
+    """Serialize span rows exactly as the tracer would.
+
+    ``json.dumps`` with default separators over rows whose key order is
+    canonical — dumping loaded rows reproduces the original lines byte
+    for byte.
+    """
+    return [json.dumps(row) for row in rows]
+
+
+def load_spans(source: Union[str, "Any", Iterable[str]]) -> List[Dict[str, Any]]:
+    """Read span rows back from a ``spans.jsonl`` path or lines."""
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()
+    elif isinstance(source, (str, bytes)) or hasattr(source, "open"):
+        with open(source) as f:
+            lines = f.read().splitlines()
+    else:
+        lines = list(source)
+    rows = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+    return rows
+
+
+class _NullSpan:
+    """The shared do-nothing span (and its own context manager)."""
+
+    __slots__ = ()
+    span_id = 0
+    parent_id = None
+    name = ""
+    t0 = 0.0
+    t1 = 0.0
+    duration_s = 0.0
+    attrs: Dict[str, Any] = {}
+    events: List[Dict[str, Any]] = []
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The zero-overhead fast path (mirrors ``NullInstruments``)."""
+
+    enabled = False
+    current = None
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def absorb(self, rows, parent=None, root_attrs=None) -> List[Span]:
+        return []
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        return []
+
+    def to_jsonl_lines(self) -> List[str]:
+        return []
+
+    def write_jsonl(self, path) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The shared default; simulation state falls back to it when no span
+#: tracer is attached (one instance is enough — it holds no state).
+NULL_TRACER = NullTracer()
+
+
+def render_span_tree(rows: List[Dict[str, Any]], max_depth: int = 6) -> str:
+    """An aggregated ASCII tree over serialized span rows.
+
+    Sibling spans with the same name collapse into one line carrying
+    their count and total duration (a run has hundreds of ``tick``
+    spans; nobody wants hundreds of lines), and the collapse recurses:
+    the children of every ``tick`` aggregate together one level down.
+    Event totals are shown per group.  Durations are wall-clock sums,
+    so a phase line's total matches the matching ``PhaseTimer`` within
+    measurement tolerance.
+    """
+    if not rows:
+        return "(no spans recorded)"
+    children: Dict[Optional[int], List[Dict[str, Any]]] = {}
+    for row in rows:
+        children.setdefault(row.get("parent"), []).append(row)
+
+    lines: List[str] = []
+
+    def walk(group: List[Dict[str, Any]], prefix: str, depth: int) -> None:
+        # Group this level's rows by name, preserving first appearance.
+        by_name: Dict[str, List[Dict[str, Any]]] = {}
+        for row in group:
+            by_name.setdefault(row["name"], []).append(row)
+        items = list(by_name.items())
+        for i, (name, spans) in enumerate(items):
+            last = i == len(items) - 1
+            branch = "`- " if last else "|- "
+            total = sum(r.get("t1", 0.0) - r.get("t0", 0.0) for r in spans)
+            n_events = sum(len(r.get("events", [])) for r in spans)
+            note = f"  [{n_events} event(s)]" if n_events else ""
+            lines.append(
+                f"{prefix}{branch}{name}  x{len(spans)}  {total:.4f}s{note}"
+            )
+            if depth + 1 >= max_depth:
+                continue
+            sub: List[Dict[str, Any]] = []
+            for r in spans:
+                sub.extend(children.get(r["id"], []))
+            if sub:
+                walk(sub, prefix + ("   " if last else "|  "), depth + 1)
+
+    walk(children.get(None, []), "", 0)
+    return "\n".join(lines)

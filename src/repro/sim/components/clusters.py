@@ -38,12 +38,14 @@ class ClusterManager:
         self._t_rebuild = obs.timer("clusters.rebuild")
         self._c_relocations = obs.counter("clusters.relocations")
         self._c_handoffs = obs.counter("clusters.handoffs")
+        self._sp = state.spans
         self.rebuild()
 
     def rebuild(self) -> None:
         """Re-form clusters over the alive sensors for the current targets."""
-        with self._t_rebuild:
+        with self._t_rebuild, self._sp.span("clusters.rebuild") as span:
             self._rebuild()
+            span.set(clusters=len(self.s.cluster_set))
 
     def _rebuild(self) -> None:
         s = self.s

@@ -119,6 +119,7 @@ class EnergyAccounting:
         self._c_depletions = obs.counter("energy.depletions")
         self._c_recompute_inc = obs.counter("energy.recompute.incremental")
         self._c_recompute_full = obs.counter("energy.recompute.full")
+        self._sp = state.spans
         self.recompute()
 
     # ------------------------------------------------------------------
@@ -132,13 +133,15 @@ class EnergyAccounting:
         the full pass regardless (used by benchmarks and the debug
         equality check).
         """
-        with self._t_recompute:
+        with self._t_recompute, self._sp.span("energy.recompute") as span:
             if force_full or not (self.incremental_enabled and self._primed):
                 self._recompute_full()
                 self._c_recompute_full.inc()
+                span.set(path="full")
             else:
                 self._recompute_incremental()
                 self._c_recompute_inc.inc()
+                span.set(path="incremental")
                 if self._debug_check:
                     self._assert_matches_full()
 
@@ -270,13 +273,20 @@ class EnergyAccounting:
         s = self.s
         dt = s.now - self._last_t
         if dt > 0:
-            with self._t_advance:
+            with self._t_advance, self._sp.span("energy.advance", dt=dt):
                 self._advance(dt)
 
     def _advance(self, dt: float) -> None:
         s = self.s
+        mon = s.monitors
         was_alive = s.bank.alive_mask()
+        levels_before = s.bank.levels_j.copy() if mon.enabled else None
         s.bank.drain_rates(self.rates, dt)
+        if mon.enabled:
+            mon.check_energy_conservation(
+                levels_before, s.bank.levels_j, self.rates, dt, s.now
+            )
+            mon.check_battery_bounds(s.bank.levels_j, s.bank.capacity_j, s.now)
         for cat, watts in self._category_watts.items():
             self.breakdown_j[cat] += watts * dt
         self._last_t = s.now

@@ -69,6 +69,7 @@ class FleetController:
         ]
         self.returning = np.zeros(cfg.n_rvs, dtype=bool)
         obs = state.instruments
+        self._sp = state.spans
         self._t_dispatch = obs.timer("fleet.dispatch")
         self._t_assign = obs.timer("scheduler.assign")
         # Which kernel path (numpy broadcasts vs reference loops) the
@@ -117,30 +118,69 @@ class FleetController:
         views = self.idle_views()
         if not views:
             return
-        with self._t_dispatch:
+        with self._t_dispatch, self._sp.span(
+            "fleet.dispatch", backlog=len(s.requests), idle_rvs=len(views)
+        ):
             self._dispatch(views)
 
     def _dispatch(self, views: List[RVView]) -> None:
         s = self.s
+        mon = s.monitors
+        sp = self._sp
         self._c_rounds.inc()
         observe = getattr(self.scheduler, "observe_time", None)
         if observe is not None:
             observe(s.now)
+        if mon.enabled or sp.enabled:
+            # Backlog snapshot *before* assignment: chained schedulers
+            # consume the request list in place.
+            node_cluster = {int(r.node_id): int(r.cluster_id) for r in s.requests}
+            backlog_per_cluster: Dict[int, int] = {}
+            for cid in node_cluster.values():
+                if cid != -1:
+                    backlog_per_cluster[cid] = backlog_per_cluster.get(cid, 0) + 1
+            views_by_id = {v.rv_id: v for v in views}
         calls_before = dict(kernels.KERNEL_CALLS)
-        with self._t_assign:
+        with self._t_assign, sp.span("scheduler.assign") as assign_span:
             plans = self.scheduler.assign(s.requests, views, s.rng)
-        self._c_kernel_vec.inc(kernels.KERNEL_CALLS["vectorized"] - calls_before["vectorized"])
-        self._c_kernel_ref.inc(kernels.KERNEL_CALLS["reference"] - calls_before["reference"])
+        vec = kernels.KERNEL_CALLS["vectorized"] - calls_before["vectorized"]
+        ref = kernels.KERNEL_CALLS["reference"] - calls_before["reference"]
+        self._c_kernel_vec.inc(vec)
+        self._c_kernel_ref.inc(ref)
+        assign_span.set(
+            scheduler=getattr(self.scheduler, "name", type(self.scheduler).__name__),
+            plans=len(plans),
+            kernel_vectorized=vec,
+            kernel_reference=ref,
+        )
         logger.debug(
             "t=%.0fs: dispatch round, %d request(s), %d idle RV(s), %d sortie(s)",
             s.now, len(s.requests), len(views), len(plans),
         )
+        atomic = getattr(self.scheduler, "atomic_cluster_service", False)
         for rv_id, plan in plans.items():
+            if mon.enabled:
+                mon.check_plan_capacity(plan, views_by_id[rv_id], s.now)
+                if atomic:
+                    mon.check_atomic_service(
+                        plan, node_cluster, backlog_per_cluster, s.now, rv_id=rv_id
+                    )
             rv = self.rvs[rv_id]
             rv.begin_sortie(list(plan.node_ids))
             self._c_sorties.inc()
             self._rv_sorties[rv_id].inc()
             self._h_sortie_stops.observe(len(plan))
+            if sp.enabled:
+                sp.event(
+                    "sortie.assigned",
+                    rv_id=rv_id,
+                    stops=len(plan),
+                    profit_j=float(plan.profit_j),
+                    travel_m=float(plan.travel_m),
+                    clusters=sorted(
+                        {node_cluster.get(int(n), -1) for n in plan.node_ids} - {-1}
+                    ),
+                )
             if s.trace.enabled:
                 s.trace.emit(s.now, EventKind.SORTIE_ASSIGNED, rv_id, float(len(plan)))
             self._next_leg(rv)

@@ -48,6 +48,7 @@ class RequestGate:
         self._c_released = obs.counter("gate.requests_released")
         self._c_recharges = obs.counter("gate.recharges")
         self._g_backlog = obs.gauge("gate.backlog")
+        self._sp = state.spans
 
     @property
     def requests(self):
@@ -61,13 +62,21 @@ class RequestGate:
 
     def check(self) -> bool:
         """Run the ERC gate; returns True if anything was released."""
-        with self._t_check:
-            return self._check()
+        with self._t_check, self._sp.span("gate.check") as span:
+            released = self._check()
+            span.set(released=released)
+            return released
 
     def _check(self) -> bool:
         s = self.s
         below = s.bank.below_threshold_mask()
         to_release = self.erc.nodes_to_release(s.cluster_set, below, s.requested)
+        if s.monitors.enabled:
+            # Independent re-derivation of the max(ceil(nc*K), 1) gate,
+            # before the masks below are mutated by the release loop.
+            s.monitors.check_erc_release(
+                s.cluster_set, below, s.requested, to_release, self.erc.erp, s.now
+            )
         for node in to_release:
             s.requests.add(
                 RechargeRequest(

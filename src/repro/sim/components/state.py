@@ -33,6 +33,8 @@ from ...network.linkquality import apply_etx_metric
 from ...network.routing import RoutingTree
 from ...network.topology import Topology
 from ...obs.instruments import NULL_INSTRUMENTS
+from ...obs.monitors import NULL_MONITORS
+from ...obs.spans import NULL_TRACER
 from ...registry import MOBILITY_MODELS
 from ..config import SimulationConfig
 from ..engine import Simulator
@@ -82,14 +84,20 @@ class SimulationState:
     # -- request backlog (maintained by RequestGate) -----------------
     requests: RechargeNodeList = field(default_factory=RechargeNodeList)
     requested: np.ndarray = None  # type: ignore[assignment]
-    # -- observability (NULL_INSTRUMENTS = zero-overhead no-op) ------
+    # -- observability (NULL_* defaults = zero-overhead no-ops) ------
     instruments: object = NULL_INSTRUMENTS
+    spans: object = NULL_TRACER
+    monitors: object = NULL_MONITORS
 
     def __post_init__(self) -> None:
         if self.requested is None:
             self.requested = np.zeros(self.cfg.n_sensors, dtype=bool)
         if self.instruments is None:
             self.instruments = NULL_INSTRUMENTS
+        if self.spans is None:
+            self.spans = NULL_TRACER
+        if self.monitors is None:
+            self.monitors = NULL_MONITORS
 
     @property
     def now(self) -> float:
@@ -98,7 +106,12 @@ class SimulationState:
 
     @classmethod
     def from_config(
-        cls, config: SimulationConfig, trace=None, instruments=None
+        cls,
+        config: SimulationConfig,
+        trace=None,
+        instruments=None,
+        spans=None,
+        monitors=None,
     ) -> "SimulationState":
         """Deploy sensors, build the static network and the targets.
 
@@ -158,4 +171,6 @@ class SimulationState:
             traffic_order=traffic_order,
             targets=targets,
             instruments=instruments if instruments is not None else NULL_INSTRUMENTS,
+            spans=spans if spans is not None else NULL_TRACER,
+            monitors=monitors if monitors is not None else NULL_MONITORS,
         )

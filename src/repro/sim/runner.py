@@ -19,7 +19,14 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.scheduling import Scheduler
-from ..obs import DEFAULT_EXPORTERS, Instruments, RunManifest, TelemetryBundle
+from ..obs import (
+    DEFAULT_EXPORTERS,
+    Instruments,
+    MonitorSet,
+    RunManifest,
+    SpanTracer,
+    TelemetryBundle,
+)
 from ..registry import EXPORTERS, SCHEDULERS
 from .config import SimulationConfig
 from .metrics import SimulationSummary
@@ -106,13 +113,17 @@ def run_with_telemetry(
 ) -> Tuple[SimulationSummary, RunManifest]:
     """Run one simulation with full telemetry archived to ``out_dir``.
 
-    The run is wired with a :class:`~repro.sim.trace.TraceRecorder` and
-    an :class:`~repro.obs.Instruments` registry, then every requested
-    exporter (names from :data:`repro.registry.EXPORTERS`; all three
-    built-ins by default) writes its files into ``out_dir``, and a
-    ``manifest.json`` (:class:`~repro.obs.RunManifest`: config digest,
-    seed, version, git revision, wall time, instrument snapshot, file
-    index) is written last so a complete directory always has one.
+    The run is wired with a :class:`~repro.sim.trace.TraceRecorder`, an
+    :class:`~repro.obs.Instruments` registry, a
+    :class:`~repro.obs.SpanTracer` (the hierarchical flight-recorder
+    trace) and a :class:`~repro.obs.MonitorSet` (runtime invariant
+    monitors; ``REPRO_STRICT_MONITORS=1`` makes violations raise), then
+    every requested exporter (names from
+    :data:`repro.registry.EXPORTERS`; the defaults otherwise) writes
+    its files into ``out_dir``, and a ``manifest.json``
+    (:class:`~repro.obs.RunManifest`: config digest, seed, version, git
+    revision, wall time, instrument snapshot, file index) is written
+    last so a complete directory always has one.
 
     Telemetry never touches the trajectory: the summary returned here
     is bit-identical to ``run_simulation(config)``.
@@ -125,10 +136,19 @@ def run_with_telemetry(
         EXPORTERS.check(name)
     instruments = Instruments()
     trace = TraceRecorder()
+    spans = SpanTracer()
+    monitors = MonitorSet(instruments=instruments, spans=spans)
     wall0 = time.perf_counter()
-    world = World(config, trace=trace, instruments=instruments)
+    world = World(
+        config, trace=trace, instruments=instruments, spans=spans, monitors=monitors
+    )
     summary = world.run()
     wall_time_s = time.perf_counter() - wall0
+    if monitors.violations:
+        logger.warning(
+            "run completed with %d invariant violation(s): %s",
+            len(monitors.violations), monitors.summary()["by_invariant"],
+        )
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     bundle = TelemetryBundle(
@@ -136,6 +156,7 @@ def run_with_telemetry(
         summary=summary.as_dict(),
         config=config_to_dict(config),
         trace=trace,
+        spans=spans,
     )
     files: Dict[str, List[str]] = {}
     for name in names:

@@ -39,12 +39,15 @@ class World:
 
     ``scheduler`` defaults to the one named by ``config.scheduler``
     (built from :data:`repro.registry.SCHEDULERS`); a ``trace``
-    recorder, when given, captures every semantic event and sample, and
-    an ``instruments`` registry (:class:`repro.obs.Instruments`)
-    collects counters and phase timers from every component.  The wired
-    components are exposed as ``world.energy``, ``world.clusters``,
-    ``world.gate`` and ``world.fleet``; the shared state as
-    ``world.state``.
+    recorder, when given, captures every semantic event and sample, an
+    ``instruments`` registry (:class:`repro.obs.Instruments`) collects
+    counters and phase timers from every component, a ``spans`` tracer
+    (:class:`repro.obs.SpanTracer`) records the hierarchical
+    run → tick → phase flight-recorder trace, and ``monitors``
+    (:class:`repro.obs.MonitorSet`) trips on runtime invariant
+    violations.  The wired components are exposed as ``world.energy``,
+    ``world.clusters``, ``world.gate`` and ``world.fleet``; the shared
+    state as ``world.state``.
     """
 
     def __init__(
@@ -53,10 +56,13 @@ class World:
         scheduler: Optional[Scheduler] = None,
         trace=None,
         instruments=None,
+        spans=None,
+        monitors=None,
     ) -> None:
         self.cfg = config
         self.state = SimulationState.from_config(
-            config, trace=trace, instruments=instruments
+            config, trace=trace, instruments=instruments, spans=spans,
+            monitors=monitors,
         )
         self.clusters = ClusterManager(self.state)
         if scheduler is None:
@@ -76,31 +82,34 @@ class World:
     # -- periodic events --
 
     def _on_tick(self) -> None:
-        self.energy.advance()
-        if getattr(self.state.activator, "rotates", True):
-            self.energy.apply_handoffs(self.clusters.rotate())
-            self.energy.recompute()
-        self.gate.maybe_adjust()
-        self.gate.check()
-        self._record_metrics()
+        with self.state.spans.span("tick", t=self.state.now):
+            self.energy.advance()
+            if getattr(self.state.activator, "rotates", True):
+                self.energy.apply_handoffs(self.clusters.rotate())
+                self.energy.recompute()
+            self.gate.maybe_adjust()
+            self.gate.check()
+            self._record_metrics()
         self.sim.schedule_in(self.cfg.tick_s, self._on_tick, priority=PRIO_TICK)
 
     def _on_dispatch_round(self) -> None:
         """Periodic base-station scheduling round over the backlog."""
-        self.energy.advance()
-        self.gate.check()
-        self.fleet.dispatch()
-        self._record_metrics()
+        with self.state.spans.span("dispatch_round", t=self.state.now):
+            self.energy.advance()
+            self.gate.check()
+            self.fleet.dispatch()
+            self._record_metrics()
         self.sim.schedule_in(
             self.cfg.dispatch_period_s, self._on_dispatch_round, priority=PRIO_DISPATCH
         )
 
     def _on_relocate(self) -> None:
-        self.energy.advance()
-        self.clusters.relocate()
-        self.energy.recompute()
-        self.gate.check()
-        self._record_metrics()
+        with self.state.spans.span("relocate", t=self.state.now):
+            self.energy.advance()
+            self.clusters.relocate()
+            self.energy.recompute()
+            self.gate.check()
+            self._record_metrics()
         self.sim.schedule_in(
             self.cfg.target_period_s, self._on_relocate, priority=PRIO_RELOCATE
         )
@@ -125,7 +134,13 @@ class World:
 
     def run(self) -> SimulationSummary:
         """Run to the configured horizon and return the summary."""
-        with self.state.instruments.timer("world.run"):
+        with self.state.instruments.timer("world.run"), self.state.spans.span(
+            "run",
+            scheduler=self.cfg.scheduler,
+            activation=self.cfg.activation,
+            erp=self.cfg.erp,
+            seed=self.cfg.seed,
+        ):
             self.sim.run_until(self.cfg.sim_time_s)
             self.energy.advance()
         books = self.fleet.totals()
@@ -190,7 +205,8 @@ class World:
 # names keep the pre-split white-box tests and tooling working.
 _FORWARDED = {
     "sim": "state.sim", "rng": "state.rng", "trace": "state.trace",
-    "instruments": "state.instruments",
+    "instruments": "state.instruments", "spans": "state.spans",
+    "monitors": "state.monitors",
     "field": "state.field", "power": "state.power",
     "sensor_pos": "state.sensor_pos", "bank": "state.bank",
     "topology": "state.topology", "routing": "state.routing",

@@ -1,0 +1,146 @@
+"""Tests for repro.obs.drift and the `repro drift` CLI subcommand.
+
+Covers metric loading from telemetry directories and benchmark history
+files, the tolerance comparison, the report renderer, and the CLI's
+0/1/2 exit-code contract.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import diff_metrics, format_drift, load_metrics
+from repro.obs.drift import load_history_pair
+from repro.sim.config import DAY_S, SimulationConfig
+from repro.sim.runner import run_with_telemetry
+
+TINY = dict(
+    n_sensors=30,
+    n_targets=2,
+    n_rvs=1,
+    side_length_m=50.0,
+    sim_time_s=0.05 * DAY_S,
+    battery_capacity_j=400.0,
+    initial_charge_range=(0.5, 0.8),
+    dispatch_period_s=1800.0,
+    seed=5,
+)
+
+
+def telemetry_dir(tmp_path, name, **overrides):
+    out = tmp_path / name
+    run_with_telemetry(SimulationConfig(**dict(TINY, **overrides)), out,
+                       exporters=["jsonl"])
+    return out
+
+
+def make_bench(tmp_path, rows):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text(json.dumps({"latest": rows[-1], "history": rows}))
+    return path
+
+
+class TestLoadMetrics:
+    def test_telemetry_directory(self, tmp_path):
+        out = telemetry_dir(tmp_path, "a")
+        metrics = load_metrics(out)
+        assert "summary.traveling_energy_j" in metrics
+        assert any(k.startswith("counter.") for k in metrics)
+        # Wall-clock timers are machine noise, never compared.
+        assert not any("timer" in k or k.endswith("_s.total") for k in metrics)
+        assert all(isinstance(v, float) for v in metrics.values())
+
+    def test_bench_file_uses_latest_history_row(self, tmp_path):
+        path = make_bench(tmp_path, [{"speedup": 2.0}, {"speedup": 3.0,
+                                                        "label": "text"}])
+        assert load_metrics(path) == {"bench.speedup": 3.0}
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_metrics(tmp_path / "nope")
+
+    def test_dir_without_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="manifest.json"):
+            load_metrics(tmp_path)
+
+    def test_history_pair(self, tmp_path):
+        path = make_bench(tmp_path, [{"v": 1.0}, {"v": 2.0}, {"v": 3.0}])
+        a, b = load_history_pair(path)
+        assert a == {"bench.v": 2.0} and b == {"bench.v": 3.0}
+
+    def test_history_pair_needs_two_rows(self, tmp_path):
+        path = make_bench(tmp_path, [{"v": 1.0}])
+        with pytest.raises(ValueError, match="need at least 2"):
+            load_history_pair(path)
+
+
+class TestDiffMetrics:
+    def test_identical_is_clean(self):
+        m = {"x": 1.0, "y": 2.5}
+        rows = diff_metrics(m, dict(m))
+        assert all(r["status"] == "ok" for r in rows)
+
+    def test_tolerance_boundary(self):
+        rows = diff_metrics({"x": 100.0}, {"x": 104.0}, rtol=0.05, atol=0.0)
+        assert rows[0]["status"] == "ok"
+        rows = diff_metrics({"x": 100.0}, {"x": 106.0}, rtol=0.05, atol=0.0)
+        assert rows[0]["status"] == "drift"
+        assert rows[0]["delta"] == pytest.approx(6.0)
+
+    def test_one_sided_metrics_always_drift(self):
+        rows = diff_metrics({"x": 1.0, "only_a": 2.0}, {"x": 1.0, "only_b": 3.0})
+        by_metric = {r["metric"]: r["status"] for r in rows}
+        assert by_metric == {"x": "ok", "only_a": "only_a", "only_b": "only_b"}
+
+    def test_drifted_rows_sort_first(self):
+        rows = diff_metrics({"a": 1.0, "b": 1.0}, {"a": 1.0, "b": 9.0})
+        assert [r["metric"] for r in rows] == ["b", "a"]
+
+    def test_format_verdict(self):
+        rows = diff_metrics({"x": 1.0}, {"x": 1.0})
+        assert "no drift across 1 metric(s)" in format_drift(rows)
+        rows = diff_metrics({"x": 1.0}, {"x": 9.0})
+        text = format_drift(rows, label_a="left", label_b="right")
+        assert "1 metric(s) drifted out of 1 compared" in text
+        assert "left" in text and "right" in text
+
+
+class TestDriftCli:
+    def test_identical_runs_exit_zero(self, tmp_path, capsys):
+        a = telemetry_dir(tmp_path, "a")
+        b = telemetry_dir(tmp_path, "b")
+        assert main(["drift", str(a), str(b)]) == 0
+        assert "no drift" in capsys.readouterr().out
+
+    def test_different_seeds_exit_one(self, tmp_path, capsys):
+        a = telemetry_dir(tmp_path, "a")
+        b = telemetry_dir(tmp_path, "b", seed=99)
+        assert main(["drift", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "drift" in out
+
+    def test_missing_path_exit_two(self, tmp_path, capsys):
+        assert main(["drift", str(tmp_path / "missing")]) == 2
+        assert "drift:" in capsys.readouterr().err
+
+    def test_single_bench_file_diffs_history(self, tmp_path, capsys):
+        path = make_bench(tmp_path, [{"speedup": 2.0}, {"speedup": 2.01}])
+        assert main(["drift", str(path)]) == 0
+        path2 = make_bench(tmp_path, [{"speedup": 2.0}, {"speedup": 4.0}])
+        assert main(["drift", str(path2)]) == 1
+        out = capsys.readouterr().out
+        assert "bench.speedup" in out
+
+    def test_tolerance_flags(self, tmp_path):
+        a = telemetry_dir(tmp_path, "a")
+        b = telemetry_dir(tmp_path, "b", seed=99)
+        # An absurdly loose tolerance turns every delta into "ok".
+        assert main(["drift", str(a), str(b), "--rtol", "1e9"]) == 0
+
+    def test_all_flag_lists_ok_rows(self, tmp_path, capsys):
+        a = telemetry_dir(tmp_path, "a")
+        b = telemetry_dir(tmp_path, "b")
+        assert main(["drift", str(a), str(b), "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "summary.traveling_energy_j" in out

@@ -1,0 +1,300 @@
+"""Tests for repro.obs.monitors: the runtime invariant tripwires.
+
+Each check is exercised on synthetic inputs (one firing case, one clean
+case), strict mode is verified to raise, and — the acceptance bar — a
+fixed-seed run under strict monitors completes with zero violations for
+every registered scheduler.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    Instruments,
+    InvariantViolation,
+    MonitorSet,
+    NULL_MONITORS,
+    SpanTracer,
+)
+from repro.obs.monitors import strict_monitors_default
+from repro.registry import SCHEDULERS
+from repro.sim.config import DAY_S, SimulationConfig
+from repro.sim.world import World
+
+
+class FakePlan:
+    def __init__(self, node_ids, travel_m=10.0, demand_j=50.0):
+        self.node_ids = tuple(node_ids)
+        self.travel_m = travel_m
+        self.demand_j = demand_j
+
+
+class FakeView:
+    def __init__(self, budget_j=1000.0, em_j_per_m=5.6, charge_efficiency=1.0):
+        self.rv_id = 0
+        self.budget_j = budget_j
+        self.em_j_per_m = em_j_per_m
+        self.charge_efficiency = charge_efficiency
+
+
+def monitors(**kwargs):
+    kwargs.setdefault("strict", False)
+    return MonitorSet(instruments=Instruments(), **kwargs)
+
+
+class TestStrictDefault:
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STRICT_MONITORS", raising=False)
+        assert not strict_monitors_default()
+        monkeypatch.setenv("REPRO_STRICT_MONITORS", "0")
+        assert not strict_monitors_default()
+        monkeypatch.setenv("REPRO_STRICT_MONITORS", "1")
+        assert strict_monitors_default()
+        assert MonitorSet(instruments=Instruments()).strict
+
+
+class TestBatteryBounds:
+    def test_clean(self):
+        m = monitors()
+        m.check_battery_bounds(np.array([0.0, 50.0, 100.0]), 100.0, t=1.0)
+        assert m.violations == []
+
+    def test_fires_below_and_above(self):
+        m = monitors()
+        m.check_battery_bounds(np.array([-1.0, 50.0, 101.0]), 100.0, t=2.0)
+        assert len(m.violations) == 1
+        v = m.violations[0]
+        assert v["invariant"] == "battery_bounds"
+        assert v["sensors"] == [0, 2]
+        assert m.instruments.counter("monitors.violations").value == 1
+
+    def test_strict_raises(self):
+        m = monitors(strict=True)
+        with pytest.raises(InvariantViolation, match="battery_bounds"):
+            m.check_battery_bounds(np.array([-1.0]), 100.0, t=0.0)
+
+
+class TestEnergyConservation:
+    def test_clean_exact_drain(self):
+        m = monitors()
+        before = np.array([100.0, 80.0])
+        rates = np.array([0.5, 0.25])
+        after = before - rates * 10.0
+        m.check_energy_conservation(before, after, rates, dt=10.0, t=10.0)
+        assert m.violations == []
+
+    def test_clamped_at_zero_allowed(self):
+        m = monitors()
+        before = np.array([2.0])
+        rates = np.array([1.0])  # analytic drop 10 J; only 2 J were left
+        m.check_energy_conservation(before, np.array([0.0]), rates, dt=10.0, t=10.0)
+        assert m.violations == []
+
+    def test_fires_on_divergence(self):
+        m = monitors()
+        before = np.array([100.0])
+        rates = np.array([0.5])
+        m.check_energy_conservation(before, np.array([90.0]), rates, dt=10.0, t=10.0)
+        assert [v["invariant"] for v in m.violations] == ["energy_conservation"]
+
+    def test_fires_on_clamped_gain(self):
+        # A clamped sensor may drop less than rate*dt, never gain.
+        m = monitors()
+        m.check_energy_conservation(
+            np.array([-1.0]), np.array([0.0]), np.array([1.0]), dt=1.0, t=1.0
+        )
+        assert len(m.violations) == 1
+
+
+class _Cluster:
+    def __init__(self, cluster_id, members):
+        self.cluster_id = cluster_id
+        self.members = np.asarray(members, dtype=int)
+
+    @property
+    def size(self):
+        return len(self.members)
+
+
+class _ClusterSet:
+    def __init__(self, clusters, n_sensors):
+        self._clusters = clusters
+        self._n = n_sensors
+
+    def __iter__(self):
+        return iter(self._clusters)
+
+    def clustered_mask(self):
+        mask = np.zeros(self._n, dtype=bool)
+        for c in self._clusters:
+            mask[c.members] = True
+        return mask
+
+
+class TestErcRelease:
+    """Re-derives max(ceil(nc*K), 1) against the gate's actual output."""
+
+    def setup_method(self):
+        # Cluster 0: sensors 0-3; cluster 1: sensors 4-6; sensor 7 free.
+        self.cs = _ClusterSet(
+            [_Cluster(0, [0, 1, 2, 3]), _Cluster(1, [4, 5, 6])], 8
+        )
+
+    def test_clean_gate_open(self):
+        m = monitors()
+        below = np.array([1, 1, 0, 0, 0, 0, 0, 1], dtype=bool)
+        listed = np.zeros(8, dtype=bool)
+        # erp=0.5 -> cluster 0 needs ceil(4*0.5)=2 needy; has 2 -> release
+        # both; cluster 1 has none; sensor 7 is unclustered and needy.
+        m.check_erc_release(self.cs, below, listed, [0, 1, 7], erp=0.5, t=0.0)
+        assert m.violations == []
+
+    def test_clean_gate_closed(self):
+        m = monitors()
+        below = np.array([1, 0, 0, 0, 0, 0, 0, 0], dtype=bool)
+        listed = np.zeros(8, dtype=bool)
+        m.check_erc_release(self.cs, below, listed, [], erp=0.5, t=0.0)
+        assert m.violations == []
+
+    def test_fires_on_premature_release(self):
+        m = monitors()
+        below = np.array([1, 0, 0, 0, 0, 0, 0, 0], dtype=bool)
+        listed = np.zeros(8, dtype=bool)
+        m.check_erc_release(self.cs, below, listed, [0], erp=0.5, t=0.0)
+        assert [v["invariant"] for v in m.violations] == ["erc_release"]
+
+    def test_fires_on_partial_release(self):
+        m = monitors()
+        below = np.array([1, 1, 0, 0, 0, 0, 0, 0], dtype=bool)
+        listed = np.zeros(8, dtype=bool)
+        m.check_erc_release(self.cs, below, listed, [0], erp=0.5, t=0.0)
+        assert len(m.violations) == 1
+
+    def test_listed_members_not_re_released(self):
+        m = monitors()
+        below = np.array([1, 1, 0, 0, 0, 0, 0, 0], dtype=bool)
+        listed = np.array([1, 0, 0, 0, 0, 0, 0, 0], dtype=bool)
+        m.check_erc_release(self.cs, below, listed, [1], erp=0.5, t=0.0)
+        assert m.violations == []
+
+    def test_fires_on_missed_unclustered(self):
+        m = monitors()
+        below = np.array([0, 0, 0, 0, 0, 0, 0, 1], dtype=bool)
+        listed = np.zeros(8, dtype=bool)
+        m.check_erc_release(self.cs, below, listed, [], erp=0.5, t=0.0)
+        assert [v["invariant"] for v in m.violations] == ["erc_release"]
+
+
+class TestPlanCapacity:
+    def test_clean(self):
+        m = monitors()
+        m.check_plan_capacity(FakePlan([1], travel_m=10.0, demand_j=50.0),
+                              FakeView(budget_j=1000.0), t=0.0)
+        assert m.violations == []
+
+    def test_fires_over_budget(self):
+        m = monitors()
+        m.check_plan_capacity(FakePlan([1], travel_m=200.0, demand_j=50.0),
+                              FakeView(budget_j=1000.0), t=0.0)
+        assert [v["invariant"] for v in m.violations] == ["rv_capacity"]
+
+    def test_efficiency_inflates_cost(self):
+        m = monitors()
+        view = FakeView(budget_j=110.0, em_j_per_m=1.0, charge_efficiency=0.5)
+        # travel 10 + 50/0.5 = 110 J: exactly at budget, clean.
+        m.check_plan_capacity(FakePlan([1], 10.0, 50.0), view, t=0.0)
+        assert m.violations == []
+        m.check_plan_capacity(FakePlan([1], 11.0, 50.0), view, t=0.0)
+        assert len(m.violations) == 1
+
+
+class TestAtomicService:
+    NODE_CLUSTER = {1: 0, 2: 0, 3: 1, 4: -1}
+    BACKLOG = {0: 2, 1: 1}
+
+    def test_clean_whole_clusters(self):
+        m = monitors()
+        m.check_atomic_service(FakePlan([1, 2, 3, 4]), self.NODE_CLUSTER,
+                               self.BACKLOG, t=0.0)
+        assert m.violations == []
+
+    def test_fires_on_split_cluster(self):
+        m = monitors()
+        m.check_atomic_service(FakePlan([1, 3]), self.NODE_CLUSTER,
+                               self.BACKLOG, t=0.0, rv_id=2)
+        assert [v["invariant"] for v in m.violations] == ["atomic_cluster_service"]
+        assert m.violations[0]["cluster_id"] == 0
+
+    def test_unclustered_nodes_ignored(self):
+        m = monitors()
+        m.check_atomic_service(FakePlan([4]), self.NODE_CLUSTER,
+                               self.BACKLOG, t=0.0)
+        assert m.violations == []
+
+
+class TestPlumbing:
+    def test_summary_groups_by_invariant(self):
+        m = monitors()
+        m.check_battery_bounds(np.array([-1.0]), 10.0, t=0.0)
+        m.check_battery_bounds(np.array([-2.0]), 10.0, t=1.0)
+        m.check_plan_capacity(FakePlan([1], 1e6, 0.0), FakeView(), t=2.0)
+        s = m.summary()
+        assert s["total"] == 3
+        assert s["by_invariant"] == {"battery_bounds": 2, "rv_capacity": 1}
+
+    def test_violations_emit_span_events(self):
+        tracer = SpanTracer()
+        m = MonitorSet(instruments=Instruments(), spans=tracer, strict=False)
+        with tracer.span("tick"):
+            m.check_battery_bounds(np.array([-1.0]), 10.0, t=3.0)
+        (ev,) = tracer.to_rows()[0]["events"]
+        assert ev["name"] == "invariant.violation"
+        assert ev["invariant"] == "battery_bounds"
+        assert ev["t_sim"] == 3.0
+
+    def test_clean_run_counter_is_explicit_zero(self):
+        obs = Instruments()
+        MonitorSet(instruments=obs, strict=False)
+        assert obs.snapshot()["counters"]["monitors.violations"] == 0.0
+
+    def test_null_monitors_are_noops(self):
+        NULL_MONITORS.check_battery_bounds(np.array([-5.0]), 1.0, t=0.0)
+        NULL_MONITORS.check_plan_capacity(FakePlan([1], 1e9, 1e9), FakeView(), 0.0)
+        assert not NULL_MONITORS.enabled
+        assert list(NULL_MONITORS.violations) == []
+        assert NULL_MONITORS.summary() == {"total": 0, "by_invariant": {}}
+
+
+TINY = dict(
+    n_sensors=40,
+    n_targets=3,
+    n_rvs=2,
+    side_length_m=60.0,
+    sim_time_s=0.2 * DAY_S,
+    battery_capacity_j=400.0,
+    initial_charge_range=(0.4, 0.7),
+    dispatch_period_s=1800.0,
+    erp=0.4,
+    seed=7,
+)
+
+
+class TestStrictRunAllSchedulers:
+    """Acceptance: a strict-monitor run is clean for every scheduler."""
+
+    @pytest.mark.parametrize("name", sorted(SCHEDULERS.names()))
+    def test_zero_violations(self, name):
+        cfg = SimulationConfig(**dict(TINY, scheduler=name))
+        obs = Instruments()
+        mon = MonitorSet(instruments=obs, strict=True)
+        world = World(cfg, instruments=obs, monitors=mon)
+        world.run()  # InvariantViolation would propagate
+        assert mon.violations == []
+        assert obs.snapshot()["counters"]["monitors.violations"] == 0.0
+
+    def test_monitored_run_matches_plain_run(self):
+        cfg = SimulationConfig(**TINY)
+        plain = World(cfg).run()
+        mon = MonitorSet(instruments=Instruments(), strict=True)
+        monitored = World(cfg, monitors=mon).run()
+        assert monitored.as_dict() == plain.as_dict()

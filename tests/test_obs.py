@@ -6,6 +6,7 @@ the run manifest, the telemetry runner glue, and the report renderer.
 
 import csv
 import json
+import re
 
 import pytest
 
@@ -168,7 +169,7 @@ def sample_bundle():
 
 class TestExporters:
     def test_builtins_registered(self):
-        for name in ("jsonl", "prometheus", "csv"):
+        for name in ("jsonl", "prometheus", "csv", "spans", "sqlite"):
             assert name in EXPORTERS
 
     def test_jsonl_exporter(self, tmp_path):
@@ -239,6 +240,112 @@ class TestExporters:
             EXPORTERS.unregister("test-onefile")
 
 
+# Exposition format 0.0.4: a sample line is "name value", the name from
+# this grammar.  The lint below holds for arbitrary instrument names.
+_PROM_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+class TestPrometheusSanitization:
+    def weird_bundle(self):
+        obs = Instruments()
+        obs.counter("fleet.rv-0.sorties").inc(1)
+        obs.counter("fleet_rv_0.sorties").inc(2)  # collides after sanitizing
+        obs.gauge("0weird..na me!").set(5)
+        obs.histogram("héllo.latency").observe(0.5)
+        with obs.timer("phase one/two"):
+            pass
+        return TelemetryBundle(instruments=obs.snapshot(),
+                               summary={"objective-j": 1.0})
+
+    def test_sanitizes_dots_and_dashes(self):
+        from repro.obs.exporters import _prom_name
+
+        assert _prom_name("fleet.rv-0.delivered-j") == "repro_fleet_rv_0_delivered_j"
+        assert _prom_name("a..b--c") == "repro_a_b_c"
+        assert _prom_name("0starts.with.digit") == "repro_0starts_with_digit"
+
+    def test_collisions_get_suffixes(self, tmp_path):
+        EXPORTERS.build("prometheus").export(tmp_path, self.weird_bundle())
+        text = (tmp_path / "metrics.prom").read_text()
+        assert "repro_fleet_rv_0_sorties_total 1" in text
+        assert "repro_fleet_rv_0_sorties_total_dup2 2" in text
+
+    def test_exposition_grammar(self, tmp_path):
+        EXPORTERS.build("prometheus").export(tmp_path, self.weird_bundle())
+        seen = set()
+        for line in (tmp_path / "metrics.prom").read_text().splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, value = line.split()
+            assert _PROM_NAME_RE.match(name), name
+            assert name not in seen, f"duplicate sample {name}"
+            seen.add(name)
+            float(value)
+        assert seen
+
+
+class TestSpansAndSqliteExporters:
+    def spans_bundle(self):
+        from repro.obs import SpanTracer
+
+        tracer = SpanTracer()
+        with tracer.span("run", seed=1):
+            with tracer.span("tick", t=0.0) as s:
+                s.event("sortie.assigned", rv_id=0)
+        bundle = sample_bundle()
+        bundle.spans = tracer
+        return bundle, tracer
+
+    def test_spans_exporter_round_trips(self, tmp_path):
+        from repro.obs import load_spans
+
+        bundle, tracer = self.spans_bundle()
+        written = EXPORTERS.build("spans").export(tmp_path, bundle)
+        assert [p.name for p in written] == ["spans.jsonl"]
+        assert load_spans(tmp_path / "spans.jsonl") == tracer.to_rows()
+
+    def test_spans_exporter_skips_without_spans(self, tmp_path):
+        assert EXPORTERS.build("spans").export(tmp_path, sample_bundle()) == []
+
+    def test_sqlite_tables(self, tmp_path):
+        import sqlite3
+
+        bundle, tracer = self.spans_bundle()
+        written = EXPORTERS.build("sqlite").export(tmp_path, bundle)
+        assert [p.name for p in written] == ["telemetry.sqlite"]
+        conn = sqlite3.connect(tmp_path / "telemetry.sqlite")
+        try:
+            inst = dict(conn.execute(
+                "SELECT name, value FROM instruments WHERE kind='counter'"
+            ).fetchall())
+            assert inst["fleet.sorties"] == 3.0
+            summary = dict(conn.execute(
+                "SELECT name, value FROM instruments WHERE kind='summary'"
+            ).fetchall())
+            assert summary["traveling_energy_j"] == 42.0
+            spans = conn.execute(
+                "SELECT span_id, parent_id, name, attrs FROM spans ORDER BY span_id"
+            ).fetchall()
+            assert [(r[0], r[1], r[2]) for r in spans] == [
+                (1, None, "run"), (2, 1, "tick")]
+            assert json.loads(spans[0][3]) == {"seed": 1}
+        finally:
+            conn.close()
+
+    def test_sqlite_reexport_idempotent(self, tmp_path):
+        bundle, _ = self.spans_bundle()
+        EXPORTERS.build("sqlite").export(tmp_path, bundle)
+        EXPORTERS.build("sqlite").export(tmp_path, bundle)
+        import sqlite3
+
+        conn = sqlite3.connect(tmp_path / "telemetry.sqlite")
+        try:
+            (n,) = conn.execute("SELECT COUNT(*) FROM spans").fetchone()
+            assert n == 2
+        finally:
+            conn.close()
+
+
 class TestManifest:
     def test_config_digest_order_independent(self):
         a = {"x": 1, "y": [1, 2]}
@@ -286,9 +393,10 @@ class TestRunWithTelemetry:
     def test_all_files_written(self, run_dir):
         out, _, manifest = run_dir
         expected = {"manifest.json", "events.jsonl", "metrics.jsonl",
-                    "metrics.prom", "series.csv", "instruments.csv"}
+                    "metrics.prom", "series.csv", "instruments.csv",
+                    "spans.jsonl"}
         assert expected <= {p.name for p in out.iterdir()}
-        assert manifest.exporters == ["jsonl", "prometheus", "csv"]
+        assert manifest.exporters == ["jsonl", "prometheus", "csv", "spans"]
         for names in manifest.files.values():
             for name in names:
                 assert (out / name).is_file()
@@ -346,6 +454,8 @@ class TestReport:
         assert "Telemetry report" in text
         assert "Phase timings" in text
         assert "fleet.dispatch" in text
+        assert "Span tree" in text
+        assert "run  x1" in text
 
     def test_missing_manifest_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):

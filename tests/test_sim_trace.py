@@ -118,6 +118,10 @@ class TestTraceJsonl:
         back = TraceRecorder.read_jsonl(path)
         assert back.events == t.events
         assert back.series == t.series
+        # Load -> re-emit reproduces the file byte for byte, so an
+        # archived trace and a live one are interchangeable on disk.
+        assert back.write_jsonl(tmp_path / "again.jsonl").read_bytes() == \
+            path.read_bytes()
 
     def test_round_trip_from_world_run(self, tmp_path):
         world, trace = traced_world()
