@@ -79,6 +79,12 @@ def _build_config(args: argparse.Namespace) -> SimulationConfig:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if getattr(args, "soa", None) is not None:
+        # Publish the engine selection where SimulationState (and the
+        # run manifest's engine provenance) will read it.  Both engines
+        # are bit-exact, so this only changes speed — and which engine
+        # the manifest records.
+        os.environ["REPRO_SOA"] = "1" if args.soa else "0"
     cfg = _build_config(args)
     manifest = None
 
@@ -137,7 +143,8 @@ def _cmd_drift(args: argparse.Namespace) -> int:
     except (FileNotFoundError, ValueError, json.JSONDecodeError) as exc:
         print(f"drift: {exc}", file=sys.stderr)
         return 2
-    rows = diff_metrics(a, b, rtol=args.rtol, atol=args.atol)
+    rows = diff_metrics(a, b, rtol=args.rtol, atol=args.atol,
+                        ignore=args.ignore)
     print(format_drift(rows, label_a=label_a, label_b=label_b,
                        show_ok=args.all, rtol=args.rtol, atol=args.atol))
     return 1 if any(r["status"] != "ok" for r in rows) else 0
@@ -309,6 +316,11 @@ def build_parser() -> argparse.ArgumentParser:
              f"registered: {', '.join(EXPORTERS.names())})",
     )
     p_run.add_argument(
+        "--soa", action=argparse.BooleanOptionalAction, default=None,
+        help="select the structure-of-arrays tick engine (--no-soa runs "
+             "the object-walking reference; default: REPRO_SOA, else on)",
+    )
+    p_run.add_argument(
         "--profile", action="store_true",
         help="run under cProfile and print the hottest functions",
     )
@@ -344,6 +356,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_drift.add_argument(
         "--all", action="store_true",
         help="also list metrics within tolerance (default: drifted/missing only)",
+    )
+    p_drift.add_argument(
+        "--ignore", action="append", default=[], metavar="GLOB",
+        help="drop metrics matching this fnmatch pattern from the "
+             "comparison (repeatable); use for metrics that only exist "
+             "on one side by design, e.g. counter.sim.soa.*",
     )
     p_drift.set_defaults(func=_cmd_drift)
 

@@ -13,6 +13,14 @@ Two policies decide which cluster members actively monitor their target:
 Both expose the same interface so the simulation world can swap them:
 ``active_sensor_per_cluster`` (who covers each target right now) and
 ``active_mask`` (who burns active-sensing power).
+
+These per-cluster Python loops are the **retained bit-exact
+reference** for the structure-of-arrays twins in
+:mod:`repro.sim.soa` (``SoARoundRobinActivator`` /
+``SoAFullTimeActivator``).  ``REPRO_SOA=0`` runs them directly;
+``REPRO_DEBUG_SOA=1`` runs them in shadow beside the array kernels and
+asserts equality per call.  Changes to the rotation semantics here
+must be mirrored there.
 """
 
 from __future__ import annotations

@@ -73,8 +73,14 @@ class EnergyRequestController:
     The controller is stateless w.r.t. the cluster epoch: call
     :meth:`nodes_to_release` with the current cluster set and masks, and
     it answers which sensors may send requests *now*.  Tracking which
-    sensors already requested is the caller's job (the world keeps that
-    mask; a sensor leaves it when an RV refills it).
+    sensors already requested is the caller's job (the request gate —
+    :class:`repro.sim.components.gate.RequestGate` — keeps that mask;
+    a sensor leaves it when an RV refills it).
+
+    The per-cluster loop in :meth:`nodes_to_release` is the **retained
+    bit-exact reference** for the array scan
+    (:func:`repro.sim.soa.erc_release_scan`) the SoA tick engine uses;
+    subclasses that override it automatically get this reference path.
     """
 
     def __init__(self, erp: float) -> None:

@@ -17,6 +17,7 @@ schedulers maximize — is ``Ec - level`` (Section IV-A).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -146,13 +147,22 @@ class BatteryBank:
         """Nodes whose energy has fallen below ``Eth``."""
         return self.levels_j < self.threshold_j
 
-    def drain_rates(self, rates_w: np.ndarray, dt_s: float) -> None:
+    def drain_rates(
+        self,
+        rates_w: np.ndarray,
+        dt_s: float,
+        scratch: Optional[np.ndarray] = None,
+    ) -> None:
         """Advance every battery by ``dt_s`` seconds at per-node draw
         ``rates_w`` (Watts), clamping at empty.
 
         This is the simulator's analytic piecewise-linear energy step:
         between events the power vector is constant, so one vectorized
-        multiply-subtract advances the entire network.
+        multiply-subtract advances the entire network.  ``scratch``, a
+        caller-owned float64 buffer of bank shape, receives the
+        ``rates * dt`` product so the steady-state advance allocates
+        nothing (the SoA tick engine passes its preallocated scratch);
+        the arithmetic is identical either way.
         """
         if dt_s < 0:
             raise ValueError("dt_s must be non-negative")
@@ -161,7 +171,11 @@ class BatteryBank:
             raise ValueError(f"rates shape {rates_w.shape} != bank shape {self.levels_j.shape}")
         if np.any(rates_w < 0):
             raise ValueError("power draws must be non-negative")
-        np.subtract(self.levels_j, rates_w * dt_s, out=self.levels_j)
+        if scratch is not None and scratch.shape == self.levels_j.shape:
+            drained = np.multiply(rates_w, dt_s, out=scratch)
+        else:
+            drained = rates_w * dt_s
+        np.subtract(self.levels_j, drained, out=self.levels_j)
         np.clip(self.levels_j, 0.0, self.capacity_j, out=self.levels_j)
 
     def drain_energy(self, idx, amount_j: float) -> None:

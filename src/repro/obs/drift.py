@@ -18,6 +18,7 @@ scriptable in CI.
 
 from __future__ import annotations
 
+import fnmatch
 import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -97,14 +98,25 @@ def diff_metrics(
     b: Dict[str, float],
     rtol: float = 0.01,
     atol: float = 1e-9,
+    ignore: Optional[List[str]] = None,
 ) -> List[Dict[str, Any]]:
     """Per-metric comparison rows, drifted metrics first.
 
     A metric drifts when ``|a - b| > atol + rtol * max(|a|, |b|)``;
-    metrics present on only one side always count as drift.
+    metrics present on only one side always count as drift.  Metrics
+    matching any ``ignore`` fnmatch pattern are dropped before the
+    comparison — for metrics that exist on one side by design, like
+    the SoA engine's allocation counter when diffing against the
+    reference engine.
     """
     rows: List[Dict[str, Any]] = []
-    for key in sorted(set(a) | set(b)):
+    keys = sorted(set(a) | set(b))
+    if ignore:
+        keys = [
+            k for k in keys
+            if not any(fnmatch.fnmatch(k, pat) for pat in ignore)
+        ]
+    for key in keys:
         va = a.get(key)
         vb = b.get(key)
         if va is None or vb is None:

@@ -78,6 +78,11 @@ class RunManifest:
     instruments: Dict[str, Any] = field(default_factory=dict)
     exporters: List[str] = field(default_factory=list)
     files: Dict[str, List[str]] = field(default_factory=dict)
+    #: Which engine knobs produced the run (REPRO_SOA / REPRO_VECTORIZE
+    #: / ...) — see :func:`repro.sim.soa.engine_provenance`.  Lets a
+    #: drift report distinguish "the code changed" from "the engine
+    #: selection changed".  Empty for pre-SoA manifests.
+    engine: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def create(
@@ -89,6 +94,7 @@ class RunManifest:
         instruments: Optional[Dict[str, Any]] = None,
         exporters: Optional[List[str]] = None,
         files: Optional[Dict[str, List[str]]] = None,
+        engine: Optional[Dict[str, Any]] = None,
     ) -> "RunManifest":
         """Stamp a manifest for ``config``: digest, version, git rev, time."""
         from .. import __version__
@@ -105,6 +111,7 @@ class RunManifest:
             instruments=dict(instruments or {}),
             exporters=list(exporters or []),
             files=dict(files or {}),
+            engine=dict(engine or {}),
         )
 
     def as_dict(self) -> Dict[str, Any]:

@@ -219,6 +219,68 @@ class MonitorSet:
                 t,
             )
 
+    def check_erc_release_arrays(
+        self,
+        membership: np.ndarray,
+        sizes: np.ndarray,
+        below_threshold: np.ndarray,
+        already_requested: np.ndarray,
+        released: Sequence[int],
+        erp: float,
+        t: float,
+        cluster_set=None,
+    ) -> None:
+        """Array form of :meth:`check_erc_release` for the SoA engine.
+
+        Re-derives the expected release set with one vectorized pass
+        over the flat ``membership`` / ``sizes`` arrays (no per-cluster
+        Python loop), so strict-monitor runs don't deoptimize the fast
+        tick path.  On a mismatch it delegates to the per-cluster walk
+        (when ``cluster_set`` is supplied) to produce the same detailed
+        violation messages as the reference path.
+        """
+        from ..core.erc import release_count_needed
+
+        membership = np.asarray(membership)
+        below = np.asarray(below_threshold, dtype=bool)
+        listed = np.asarray(already_requested, dtype=bool)
+        m = len(sizes)
+        clustered = membership >= 0
+        needy = below & clustered
+        counts = np.bincount(membership[needy], minlength=m)
+        need = np.maximum(np.ceil(np.asarray(sizes) * erp).astype(np.int64), 1)
+        open_gate = counts >= need
+        expected = below & ~listed
+        if m:  # a zero-cluster epoch leaves every sensor unclustered
+            expected &= ~clustered | open_gate[np.maximum(membership, 0)]
+        got = np.zeros(len(membership), dtype=bool)
+        rel = np.asarray(list(released), dtype=np.int64)
+        got[rel] = True
+        if np.array_equal(expected, got):
+            # Spot-check the vectorized threshold against the scalar
+            # reference on one cluster so the re-derivation itself is
+            # anchored (cheap: a single call).
+            if m and int(need[0]) != release_count_needed(int(sizes[0]), erp):
+                self._violate(
+                    "erc_release",
+                    f"array threshold {int(need[0])} != scalar "
+                    f"release_count_needed({int(sizes[0])}, {erp:g})",
+                    t,
+                )
+            return
+        if cluster_set is not None:
+            # Divergence: fall back to the slow walk for the detailed
+            # per-cluster message the reference check would have given.
+            self.check_erc_release(cluster_set, below, listed, released, erp, t)
+            return
+        diff = np.flatnonzero(expected != got)
+        self._violate(
+            "erc_release",
+            f"release set mismatch on {diff.size} sensor(s) "
+            f"(first {diff[:5].tolist()}; erp={erp:g})",
+            t,
+        )
+
     def check_plan_capacity(self, plan, view, t: float) -> None:
         """A planned sortie must fit the RV's energy budget."""
         cost = plan.travel_m * view.em_j_per_m + plan.demand_j / view.charge_efficiency
@@ -291,6 +353,9 @@ class NullMonitors:
         pass
 
     def check_erc_release(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def check_erc_release_arrays(self, *args: Any, **kwargs: Any) -> None:
         pass
 
     def check_plan_capacity(self, *args: Any, **kwargs: Any) -> None:

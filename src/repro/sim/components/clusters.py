@@ -17,6 +17,7 @@ import numpy as np
 from ...core.clustering import Cluster, ClusterSet
 from ...geometry.coverage import detection_matrix
 from ...registry import ACTIVATORS, CLUSTERINGS
+from ..soa import pack_clusters, wrap_activator
 from ..trace import EventKind
 from .state import SimulationState
 
@@ -71,7 +72,15 @@ class ClusterManager:
             for c in local
         ]
         s.cluster_set = ClusterSet(clusters, s.cfg.n_sensors)
-        s.activator = ACTIVATORS.build(s.cfg.activation, cluster_set=s.cluster_set)
+        if s.arrays is not None:
+            # Repack the padded member matrix for the new epoch — the
+            # gate's array ERC scan reads it even when the activator is
+            # a plugin the SoA engine doesn't wrap.
+            pack_clusters(s.cluster_set, s.arrays)
+        activator = ACTIVATORS.build(s.cfg.activation, cluster_set=s.cluster_set)
+        # Under the SoA tick engine the built-in activators are swapped
+        # for their array twins (plugins run unchanged).
+        s.activator = wrap_activator(activator, s.arrays)
 
     def relocate(self) -> None:
         """Move targets to their next epoch and rebuild the clusters."""

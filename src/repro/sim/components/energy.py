@@ -47,6 +47,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from ..soa import debug_soa, relay_accumulate, relay_levels
 from ..trace import EventKind
 from .state import SimulationState
 
@@ -107,12 +108,25 @@ class EnergyAccounting:
         # Plain-python parent pointers: the per-origin path walks are
         # pure int arithmetic, far cheaper than numpy scalar indexing.
         self._parent_list = [int(p) for p in state.routing.parent]
+        self._parent_arr = np.asarray(state.routing.parent, dtype=np.int64)
         self._base = int(state.routing.base)
         self._through_cnt = np.zeros(n + 1, dtype=np.int64)  # relayed+own packets
         self._origins = np.zeros(n, dtype=bool)
         self._alive_prev = np.zeros(n, dtype=bool)
         self._relay_w = np.zeros(n, dtype=np.float64)
         self._primed = False
+        # -- SoA tick engine ----------------------------------------------
+        # Level-order schedule for the vectorized relay accumulation
+        # (computed once; the routing tree is static) and the scratch
+        # array reused by every battery advance.
+        self.soa = state.arrays is not None
+        self._debug_soa = debug_soa()
+        self._relay_levels = (
+            relay_levels(state.routing.parent, state.routing.dist, state.routing.base, n)
+            if self.soa
+            else None
+        )
+        self._drain_scratch = state.arrays.drain_scratch if self.soa else None
         obs = state.instruments
         self._t_recompute = obs.timer("energy.recompute")
         self._t_advance = obs.timer("energy.advance")
@@ -151,24 +165,38 @@ class EnergyAccounting:
         alive = s.bank.alive_mask()
         active = s.activator.active_mask(alive)
         n = s.cfg.n_sensors
-        rates = np.zeros(n, dtype=np.float64)
+        if self.soa:
+            # Keep one stable rates buffer: the SoA arrays alias it, and
+            # the steady-state full pass then allocates no fresh vector.
+            rates = self.rates
+            rates.fill(0.0)
+        else:
+            rates = np.zeros(n, dtype=np.float64)
         rates[alive] = power.idle_power_w
         rates[active] += power.active_sensing_power_w
         # Relay load: push each active origin's packet count down the
         # routing tree (farthest vertex first), skipping dead relays'
         # consumption (they can't forward).  Counts stay integer so the
-        # incremental path can patch them exactly.
+        # incremental path can patch them exactly — and so the SoA
+        # level-order accumulation commutes bit-exactly with this walk.
         cnt = np.zeros(n + 1, dtype=np.int64)
         origins = active & self._connected
         cnt[:n][origins] = 1
         parent = s.routing.parent
         base = s.routing.base
-        for v in s.traffic_order:
-            if v == base or cnt[v] == 0:
-                continue
-            p = parent[v]
-            if p >= 0:
-                cnt[p] += cnt[v]
+        if self.soa:
+            relay_accumulate(cnt, parent, self._relay_levels)
+            if self._debug_soa:
+                self._assert_relay_matches_walk(cnt, origins)
+        else:
+            # Retained reference walk (REPRO_SOA=0): the executable
+            # specification of the accumulation above.
+            for v in s.traffic_order:
+                if v == base or cnt[v] == 0:
+                    continue
+                p = parent[v]
+                if p >= 0:
+                    cnt[p] += cnt[v]
         relay = (cnt[:n] - origins).astype(np.float64) * power.packet_rate_hz
         relay_w = np.where(alive, relay * self._per_packet_relay_j * s.uplink_etx, 0.0)
         rates += relay_w
@@ -189,6 +217,9 @@ class EnergyAccounting:
         self._alive_prev = alive
         self._relay_w = relay_w
         self._primed = True
+        if self.soa:
+            self.s.arrays.rates_w = rates
+            self.s.arrays.active = active
         self._category_watts = {
             "idle": float(np.count_nonzero(alive)) * power.idle_power_w,
             "sensing": float(np.count_nonzero(active)) * power.active_sensing_power_w,
@@ -216,7 +247,24 @@ class EnergyAccounting:
         # sensor whose origin status flipped; every vertex whose count
         # moved is re-priced below.
         changed = np.flatnonzero(origins != self._origins)
-        if changed.size:
+        if changed.size and self.soa:
+            # Frontier form of the reference walk below: every changed
+            # origin's whole root path advances one hop per iteration.
+            # Counts are integers, so the add order cannot perturb them.
+            cnt = self._through_cnt
+            parent = self._parent_arr
+            base = self._base
+            vs = changed
+            deltas = np.where(origins[changed], 1, -1)
+            while vs.size:
+                np.add.at(cnt, vs, deltas)
+                keep = vs != base
+                vs, deltas = vs[keep], deltas[keep]
+                dirty[vs] = True
+                vs = parent[vs]
+                up = vs >= 0
+                vs, deltas = vs[up], deltas[up]
+        elif changed.size:
             cnt = self._through_cnt
             parent = self._parent_list
             base = self._base
@@ -248,12 +296,37 @@ class EnergyAccounting:
         self.active = active
         self._origins = origins
         self._alive_prev = alive
+        if self.soa:
+            self.s.arrays.active = active
         self._category_watts = {
             "idle": float(np.count_nonzero(alive)) * power.idle_power_w,
             "sensing": float(np.count_nonzero(active)) * power.active_sensing_power_w,
             "relay": float(self._relay_w.sum()),
             "leakage": 0.0,
         }
+
+    def _assert_relay_matches_walk(self, cnt: np.ndarray, origins: np.ndarray) -> None:
+        """``REPRO_DEBUG_SOA``: the level-order accumulation must equal
+        the reference farthest-first walk, count for count."""
+        s = self.s
+        n = s.cfg.n_sensors
+        ref = np.zeros(n + 1, dtype=np.int64)
+        ref[:n][origins] = 1
+        parent = s.routing.parent
+        base = s.routing.base
+        for v in s.traffic_order:
+            if v == base or ref[v] == 0:
+                continue
+            p = parent[v]
+            if p >= 0:
+                ref[p] += ref[v]
+        if not np.array_equal(cnt, ref):
+            diff = np.flatnonzero(cnt != ref)
+            raise AssertionError(
+                "SoA relay accumulation diverged from the reference walk "
+                f"(REPRO_DEBUG_SOA; vertices {diff[:10].tolist()}); "
+                "please report this"
+            )
 
     def _assert_matches_full(self) -> None:
         """Debug mode: the incremental result must equal a full pass."""
@@ -281,7 +354,7 @@ class EnergyAccounting:
         mon = s.monitors
         was_alive = s.bank.alive_mask()
         levels_before = s.bank.levels_j.copy() if mon.enabled else None
-        s.bank.drain_rates(self.rates, dt)
+        s.bank.drain_rates(self.rates, dt, scratch=self._drain_scratch)
         if mon.enabled:
             mon.check_energy_conservation(
                 levels_before, s.bank.levels_j, self.rates, dt, s.now

@@ -67,7 +67,17 @@ class FleetController:
             )
             for i in range(cfg.n_rvs)
         ]
-        self.returning = np.zeros(cfg.n_rvs, dtype=bool)
+        self.a = state.arrays
+        if self.a is not None:
+            # Under the SoA engine the returning flags ARE the array —
+            # one buffer, two names — and every observable RV change is
+            # written through to the per-RV block (rv_pos / rv_level_j
+            # / rv_busy) so array readers never see a stale fleet.
+            self.returning = self.a.rv_returning
+            for rv in self.rvs:
+                self._sync_rv(rv)
+        else:
+            self.returning = np.zeros(cfg.n_rvs, dtype=bool)
         obs = state.instruments
         self._sp = state.spans
         self._t_dispatch = obs.timer("fleet.dispatch")
@@ -87,6 +97,15 @@ class FleetController:
         self._rv_delivered = [
             obs.counter(f"fleet.rv{i}.delivered_j") for i in range(cfg.n_rvs)
         ]
+
+    def _sync_rv(self, rv: RechargingVehicle) -> None:
+        """Write-through one RV's observable state into the SoA block."""
+        a = self.a
+        if a is None:
+            return
+        a.rv_pos[rv.rv_id] = rv.position
+        a.rv_level_j[rv.rv_id] = rv.battery.level_j
+        a.rv_busy[rv.rv_id] = rv.busy
 
     # ------------------------------------------------------------------
     # dispatch
@@ -167,6 +186,7 @@ class FleetController:
                     )
             rv = self.rvs[rv_id]
             rv.begin_sortie(list(plan.node_ids))
+            self._sync_rv(rv)
             self._c_sorties.inc()
             self._rv_sorties[rv_id].inc()
             self._h_sortie_stops.observe(len(plan))
@@ -212,6 +232,7 @@ class FleetController:
         s = self.s
         self.energy.advance()
         rv.return_to_depot()
+        self._sync_rv(rv)
         self._c_depot_returns.inc()
         if s.trace.enabled:
             s.trace.emit(s.now, EventKind.RV_RETURNED_HOME, rv.rv_id)
@@ -238,6 +259,7 @@ class FleetController:
     def _next_leg(self, rv: RechargingVehicle) -> None:
         if not rv.itinerary:
             rv.end_sortie()
+            self._sync_rv(rv)
             self._on_idle()
             return
         node = rv.itinerary[0]
@@ -249,6 +271,7 @@ class FleetController:
         self.energy.advance()
         node = rv.itinerary.pop(0)
         rv.move_to(s.sensor_pos[node])
+        self._sync_rv(rv)
         self._c_legs.inc()
         if s.trace.enabled:
             s.trace.emit(s.now, EventKind.RV_ARRIVED, rv.rv_id, float(node))
@@ -270,6 +293,7 @@ class FleetController:
             if was_depleted:
                 s.trace.emit(s.now, EventKind.SENSOR_REVIVED, int(node))
         rv.deliver(delivered, s.cfg.charge_model.efficiency)
+        self._sync_rv(rv)
         self._h_delivered.observe(delivered)
         self._rv_delivered[rv.rv_id].inc(delivered)
         self.gate.mark_recharged(node)

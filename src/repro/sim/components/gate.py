@@ -13,9 +13,12 @@ from __future__ import annotations
 
 import logging
 
+import numpy as np
+
 from ...core.erc import EnergyRequestController
 from ...core.requests import RechargeRequest
 from ...registry import ERC_POLICIES, erc_policy_name
+from ..soa import _shadow_compare, debug_soa, erc_release_scan, erc_scan_applicable
 from ..trace import EventKind
 from .state import SimulationState
 
@@ -43,6 +46,10 @@ class RequestGate:
                 erc_policy_name(state.cfg.adaptive_erp), config=state.cfg
             )
         self.erc = erc
+        # The array ERC scan replays exactly the base gate semantics; a
+        # policy that overrides nodes_to_release keeps its own code.
+        self.soa = state.arrays is not None and erc_scan_applicable(self.erc)
+        self._debug_soa = debug_soa()
         obs = state.instruments
         self._t_check = obs.timer("gate.check")
         self._c_released = obs.counter("gate.requests_released")
@@ -69,14 +76,43 @@ class RequestGate:
 
     def _check(self) -> bool:
         s = self.s
-        below = s.bank.below_threshold_mask()
-        to_release = self.erc.nodes_to_release(s.cluster_set, below, s.requested)
+        if self.soa:
+            a = s.arrays
+            # Same elementwise `<` as below_threshold_mask, written into
+            # the preallocated gate scratch so the scan allocates only
+            # its (small) release list.
+            below = np.less(s.bank.levels_j, s.bank.threshold_j, out=a.below_scratch)
+            to_release = erc_release_scan(
+                a.cluster_id, a.sizes, below, s.requested, self.erc.erp, arrays=a
+            )
+            if self._debug_soa:
+                ref = self.erc.nodes_to_release(s.cluster_set, below, s.requested)
+                _shadow_compare(
+                    "gate.release",
+                    np.asarray(to_release, dtype=np.int64),
+                    np.asarray(ref, dtype=np.int64),
+                )
+        else:
+            below = s.bank.below_threshold_mask()
+            to_release = self.erc.nodes_to_release(s.cluster_set, below, s.requested)
         if s.monitors.enabled:
             # Independent re-derivation of the max(ceil(nc*K), 1) gate,
             # before the masks below are mutated by the release loop.
-            s.monitors.check_erc_release(
-                s.cluster_set, below, s.requested, to_release, self.erc.erp, s.now
-            )
+            if self.soa:
+                s.monitors.check_erc_release_arrays(
+                    s.arrays.cluster_id,
+                    s.arrays.sizes,
+                    below,
+                    s.requested,
+                    to_release,
+                    self.erc.erp,
+                    s.now,
+                    cluster_set=s.cluster_set,
+                )
+            else:
+                s.monitors.check_erc_release(
+                    s.cluster_set, below, s.requested, to_release, self.erc.erp, s.now
+                )
         for node in to_release:
             s.requests.add(
                 RechargeRequest(

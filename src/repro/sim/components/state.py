@@ -39,6 +39,7 @@ from ...registry import MOBILITY_MODELS
 from ..config import SimulationConfig
 from ..engine import Simulator
 from ..metrics import MetricsCollector
+from ..soa import StateArrays, debug_soa, soa_enabled
 from ..trace import NullRecorder
 
 __all__ = [
@@ -88,6 +89,8 @@ class SimulationState:
     instruments: object = NULL_INSTRUMENTS
     spans: object = NULL_TRACER
     monitors: object = NULL_MONITORS
+    # -- SoA tick engine (None = object-walking reference path) ------
+    arrays: Optional[StateArrays] = None
 
     def __post_init__(self) -> None:
         if self.requested is None:
@@ -98,6 +101,12 @@ class SimulationState:
             self.spans = NULL_TRACER
         if self.monitors is None:
             self.monitors = NULL_MONITORS
+        if self.arrays is not None:
+            # Per-sensor views alias the canonical buffers: the arrays
+            # *are* the state, not a copy of it.
+            self.arrays.positions = self.sensor_pos
+            self.arrays.levels_j = self.bank.levels_j
+            self.arrays.requested = self.requested
 
     @property
     def now(self) -> float:
@@ -156,6 +165,16 @@ class SimulationState:
             config.target_mobility, field=fld, config=config, rng=rng
         )
 
+        # The SoA tick engine: flat aligned arrays + reusable scratch,
+        # captured at construction (the REPRO_VECTORIZE knob pattern).
+        # Debug mode also builds the arrays — the shadow compare needs
+        # both engines live.
+        arrays = None
+        if soa_enabled() or debug_soa():
+            arrays = StateArrays(
+                config.n_sensors, config.n_rvs, instruments=instruments
+            )
+
         return cls(
             cfg=config,
             rng=rng,
@@ -173,4 +192,5 @@ class SimulationState:
             instruments=instruments if instruments is not None else NULL_INSTRUMENTS,
             spans=spans if spans is not None else NULL_TRACER,
             monitors=monitors if monitors is not None else NULL_MONITORS,
+            arrays=arrays,
         )

@@ -31,6 +31,7 @@ from ..registry import EXPORTERS, SCHEDULERS
 from .config import SimulationConfig
 from .metrics import SimulationSummary
 from .serialization import config_to_dict
+from .soa import engine_provenance
 from .trace import TraceRecorder
 from .world import World
 
@@ -170,6 +171,7 @@ def run_with_telemetry(
         instruments=bundle.instruments,
         exporters=names,
         files=files,
+        engine=engine_provenance(),
     )
     manifest.write(out)
     logger.info(

@@ -9,12 +9,19 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
+import numpy as np
+
 from ..energy.consumption import NodePowerModel, RadioModel, SensingModel
 from ..energy.recharge import ChargeModel
 from .config import SimulationConfig
 from .metrics import SimulationSummary
 
-__all__ = ["config_to_dict", "config_from_dict", "summary_to_dict"]
+__all__ = [
+    "config_to_dict",
+    "config_from_dict",
+    "snapshot_arrays",
+    "summary_to_dict",
+]
 
 
 def config_to_dict(config: SimulationConfig) -> Dict[str, Any]:
@@ -94,3 +101,27 @@ def config_from_dict(data: Dict[str, Any]) -> SimulationConfig:
 def summary_to_dict(summary: SimulationSummary) -> Dict[str, float]:
     """Alias of :meth:`SimulationSummary.as_dict` for API symmetry."""
     return summary.as_dict()
+
+
+def snapshot_arrays(state) -> Dict[str, np.ndarray]:
+    """A flat-array snapshot of one :class:`SimulationState`.
+
+    Every array is copied out of the live state, so two snapshots can
+    be compared field-by-field (``np.array_equal``) regardless of which
+    tick engine produced them — the SoA/reference equivalence tests
+    assert bit-equality of exactly this dict.  Works with or without
+    ``state.arrays``: the canonical buffers are the source of truth
+    either way.
+    """
+    alive = state.bank.alive_mask()
+    snap: Dict[str, np.ndarray] = {
+        "time_s": np.array(state.now),
+        "levels_j": state.bank.levels_j.copy(),
+        "requested": state.requested.copy(),
+        "alive": alive,
+        "membership": state.cluster_set.membership.copy(),
+        "pending_requests": np.asarray(state.requests.node_ids, dtype=np.int64),
+    }
+    if state.activator is not None:
+        snap["active"] = state.activator.active_mask(alive)
+    return snap

@@ -174,9 +174,13 @@ class World:
             "active": s.activator.active_mask(alive),
             "target_positions": s.targets.positions.copy(),
             "cluster_membership": s.cluster_set.membership.copy(),
-            "rv_positions": np.vstack([rv.position for rv in self.rvs])
-            if self.rvs
-            else np.empty((0, 2)),
+            "rv_positions": s.arrays.rv_pos.copy()
+            if s.arrays is not None
+            else (
+                np.vstack([rv.position for rv in self.rvs])
+                if self.rvs
+                else np.empty((0, 2))
+            ),
             "pending_requests": s.requests.node_ids,
         }
 
@@ -205,6 +209,7 @@ class World:
 # names keep the pre-split white-box tests and tooling working.
 _FORWARDED = {
     "sim": "state.sim", "rng": "state.rng", "trace": "state.trace",
+    "arrays": "state.arrays",
     "instruments": "state.instruments", "spans": "state.spans",
     "monitors": "state.monitors",
     "field": "state.field", "power": "state.power",

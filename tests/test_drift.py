@@ -97,6 +97,18 @@ class TestDiffMetrics:
         rows = diff_metrics({"a": 1.0, "b": 1.0}, {"a": 1.0, "b": 9.0})
         assert [r["metric"] for r in rows] == ["b", "a"]
 
+    def test_ignore_patterns_drop_metrics(self):
+        # One-sided-by-design metrics (the SoA alloc counter against a
+        # reference-engine run) can be excluded from the comparison.
+        a = {"x": 1.0, "counter.sim.soa.alloc": 15.0}
+        b = {"x": 1.0}
+        rows = diff_metrics(a, b, ignore=["counter.sim.soa.*"])
+        assert [r["metric"] for r in rows] == ["x"]
+        assert rows[0]["status"] == "ok"
+        # A pattern that matches nothing changes nothing.
+        rows = diff_metrics(a, b, ignore=["nomatch.*"])
+        assert {r["metric"] for r in rows} == {"x", "counter.sim.soa.alloc"}
+
     def test_format_verdict(self):
         rows = diff_metrics({"x": 1.0}, {"x": 1.0})
         assert "no drift across 1 metric(s)" in format_drift(rows)

@@ -161,16 +161,19 @@ class TestGoldenPerScheduler:
 class TestGoldenExecutionMatrix:
     """The pinned summaries must survive every execution mode: serial
     or process-pool (``jobs``), vectorized kernels or reference loops
-    (``REPRO_VECTORIZE``).  Workers inherit the knob through the
-    environment, so the 4-way matrix covers child processes too."""
+    (``REPRO_VECTORIZE``), SoA or object-walking tick engine
+    (``REPRO_SOA``).  Workers inherit the knobs through the
+    environment, so the matrix covers child processes too."""
 
     @pytest.mark.parametrize("jobs", [1, 4])
     @pytest.mark.parametrize("vectorize", ["0", "1"])
-    def test_matrix_bit_identical(self, monkeypatch, jobs, vectorize):
+    @pytest.mark.parametrize("soa", ["0", "1"])
+    def test_matrix_bit_identical(self, monkeypatch, jobs, vectorize, soa):
         from repro.experiments.executor import map_configs
 
         monkeypatch.delenv("REPRO_CACHE", raising=False)
         monkeypatch.setenv("REPRO_VECTORIZE", vectorize)
+        monkeypatch.setenv("REPRO_SOA", soa)
         schedulers = ("greedy", "insertion")
         configs = [
             SimulationConfig(**{**GOLDEN_CONFIG, "scheduler": s}) for s in schedulers
@@ -184,5 +187,5 @@ class TestGoldenExecutionMatrix:
             }
             assert not mismatches, (
                 f"{scheduler} drifted under jobs={jobs}, "
-                f"REPRO_VECTORIZE={vectorize}: {mismatches}"
+                f"REPRO_VECTORIZE={vectorize}, REPRO_SOA={soa}: {mismatches}"
             )

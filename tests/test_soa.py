@@ -1,0 +1,439 @@
+"""The structure-of-arrays tick engine (repro.sim.soa).
+
+Three layers of evidence that ``REPRO_SOA=1`` is a pure speedup:
+
+* kernel parity — every array kernel (rotation, ERC scan, relay
+  accumulation) reproduces its object-walking reference bit-for-bit on
+  randomized inputs;
+* engine equivalence — whole runs and random tick sequences produce
+  identical snapshots and summaries under ``REPRO_SOA=0`` vs ``1``
+  (including a hypothesis property test);
+* allocation discipline — the ``sim.soa.alloc`` counter stays flat
+  across steady-state ticks, proving the preallocated scratch is
+  actually reused.
+"""
+
+import contextlib
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.activation import FullTimeActivator, RoundRobinActivator
+from repro.core.clustering import Cluster, ClusterSet
+from repro.core.erc import AdaptiveEnergyRequestController, EnergyRequestController
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import run_simulation
+from repro.sim.serialization import snapshot_arrays
+from repro.sim.soa import (
+    SoAFullTimeActivator,
+    SoARoundRobinActivator,
+    StateArrays,
+    _shadow_compare,
+    debug_soa,
+    engine_provenance,
+    erc_release_scan,
+    erc_scan_applicable,
+    first_alive_slots,
+    pack_clusters,
+    relay_accumulate,
+    relay_levels,
+    soa_enabled,
+    wrap_activator,
+)
+from repro.sim.world import World
+
+
+def random_cluster_set(rng, n_sensors, n_clusters):
+    """Random disjoint clusters (possibly empty) over ``n_sensors``."""
+    perm = rng.permutation(n_sensors)
+    cuts = sorted(rng.integers(0, n_sensors + 1, size=n_clusters - 1).tolist()) if n_clusters > 1 else []
+    chunks = np.split(perm, cuts)
+    clusters = [
+        Cluster(i, np.sort(chunk)) for i, chunk in enumerate(chunks[:n_clusters])
+    ]
+    while len(clusters) < n_clusters:
+        clusters.append(Cluster(len(clusters), np.array([], dtype=np.int64)))
+    return ClusterSet(clusters, n_sensors)
+
+
+SMALL_CONFIG = dict(
+    n_sensors=40,
+    n_targets=6,
+    n_rvs=2,
+    side_length_m=60.0,
+    sim_time_s=6 * 3600.0,
+    tick_s=600.0,
+    dispatch_period_s=1800.0,
+    battery_capacity_j=300.0,
+    initial_charge_range=(0.5, 0.8),
+    seed=7,
+)
+
+
+class TestKnobs:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SOA", raising=False)
+        monkeypatch.delenv("REPRO_DEBUG_SOA", raising=False)
+        assert soa_enabled()
+        assert not debug_soa()
+
+    def test_opt_out(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOA", "0")
+        assert not soa_enabled()
+        monkeypatch.setenv("REPRO_DEBUG_SOA", "1")
+        assert debug_soa()
+
+    def test_engine_provenance_keys(self):
+        prov = engine_provenance()
+        assert set(prov) == {"soa", "soa_debug", "vectorize", "incremental"}
+        assert all(isinstance(v, bool) for v in prov.values())
+
+
+class TestRotationParity:
+    """Array rotation == reference rotation, slot for slot."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_round_robin_long_random_walk(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 60))
+        m = int(rng.integers(1, 8))
+        cs = random_cluster_set(rng, n, m)
+        arrays = StateArrays(n, 0)
+        ref = RoundRobinActivator(cs)
+        soa = SoARoundRobinActivator(cs, arrays)
+        for _ in range(40):
+            alive = rng.random(n) > rng.uniform(0.0, 0.6)
+            assert np.array_equal(
+                soa.active_sensor_per_cluster(alive),
+                ref.active_sensor_per_cluster(alive),
+            )
+            assert np.array_equal(soa.active_mask(alive), ref.active_mask(alive))
+            assert np.array_equal(soa.covered_mask(alive), ref.covered_mask(alive))
+            assert np.array_equal(soa.rotate(alive), ref.rotate(alive))
+            assert np.array_equal(arrays.ptr, ref._ptr)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_full_time_parity(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(5, 50))
+        cs = random_cluster_set(rng, n, int(rng.integers(1, 6)))
+        arrays = StateArrays(n, 0)
+        ref = FullTimeActivator(cs)
+        soa = SoAFullTimeActivator(cs, arrays)
+        for _ in range(10):
+            alive = rng.random(n) > 0.3
+            assert np.array_equal(soa.active_mask(alive), ref.active_mask(alive))
+            assert np.array_equal(
+                soa.active_sensor_per_cluster(alive),
+                ref.active_sensor_per_cluster(alive),
+            )
+            assert np.array_equal(soa.covered_mask(alive), ref.covered_mask(alive))
+        assert soa.rotate(rng.random(n) > 0.5).shape == (0, 2)
+
+    def test_all_dead_cluster_keeps_pointer(self):
+        cs = ClusterSet([Cluster(0, np.array([0, 1, 2]))], 3)
+        arrays = StateArrays(3, 0)
+        soa = SoARoundRobinActivator(cs, arrays)
+        ref = RoundRobinActivator(cs)
+        alive = np.ones(3, dtype=bool)
+        soa.rotate(alive)
+        ref.rotate(alive)
+        dead = np.zeros(3, dtype=bool)
+        assert np.array_equal(soa.rotate(dead), ref.rotate(dead))
+        assert np.array_equal(arrays.ptr, ref._ptr)
+
+    def test_wrap_activator_dispatch(self):
+        cs = ClusterSet([Cluster(0, np.array([0, 1]))], 2)
+        arrays = StateArrays(2, 0)
+        assert isinstance(
+            wrap_activator(RoundRobinActivator(cs), arrays), SoARoundRobinActivator
+        )
+        assert isinstance(
+            wrap_activator(FullTimeActivator(cs), arrays), SoAFullTimeActivator
+        )
+        ref = RoundRobinActivator(cs)
+        assert wrap_activator(ref, None) is ref
+
+        class PluginActivator(RoundRobinActivator):
+            pass
+
+        plugin = PluginActivator(cs)
+        assert wrap_activator(plugin, arrays) is plugin
+
+    def test_first_alive_slots_matches_scan(self):
+        rng = np.random.default_rng(42)
+        for _ in range(20):
+            n = int(rng.integers(4, 40))
+            cs = random_cluster_set(rng, n, int(rng.integers(1, 6)))
+            arrays = StateArrays(n, 0)
+            pack_clusters(cs, arrays)
+            ref = RoundRobinActivator(cs)
+            alive = rng.random(n) > 0.4
+            start = np.array(
+                [rng.integers(0, max(c.size, 1)) for c in cs], dtype=np.int64
+            )
+            got = first_alive_slots(arrays.members, arrays.sizes, start, alive)
+            want = np.array(
+                [
+                    s if (s := ref._first_alive_from(c.cluster_id, int(start[c.cluster_id]), alive)) is not None else -1
+                    for c in cs
+                ],
+                dtype=np.int64,
+            )
+            assert np.array_equal(got, want)
+
+
+class TestErcScanParity:
+    @pytest.mark.parametrize("erp", [0.0, 0.3, 0.5, 1.0])
+    def test_random_masks(self, erp):
+        rng = np.random.default_rng(int(erp * 10) + 1)
+        erc = EnergyRequestController(erp)
+        for _ in range(25):
+            n = int(rng.integers(3, 50))
+            cs = random_cluster_set(rng, n, int(rng.integers(1, 7)))
+            below = rng.random(n) > 0.5
+            listed = (rng.random(n) > 0.7) & below
+            want = erc.nodes_to_release(cs, below, listed)
+            got = erc_release_scan(cs.membership, cs.sizes(), below, listed, erp)
+            assert got == want
+            # With the preallocated scratch path too.
+            arrays = StateArrays(n, 0)
+            pack_clusters(cs, arrays)
+            got_scratch = erc_release_scan(
+                cs.membership, arrays.sizes, below, listed, erp, arrays=arrays
+            )
+            assert got_scratch == want
+
+    def test_zero_cluster_epoch(self):
+        cs = ClusterSet([], 5)
+        below = np.array([True, False, True, False, False])
+        listed = np.array([True, False, False, False, False])
+        want = EnergyRequestController(0.5).nodes_to_release(cs, below, listed)
+        got = erc_release_scan(cs.membership, cs.sizes(), below, listed, 0.5)
+        assert got == want == [2]
+
+    def test_applicability_gate(self):
+        assert erc_scan_applicable(EnergyRequestController(0.5))
+        assert erc_scan_applicable(AdaptiveEnergyRequestController())
+
+        class CustomPolicy(EnergyRequestController):
+            def nodes_to_release(self, cluster_set, below, listed):
+                return []
+
+        assert not erc_scan_applicable(CustomPolicy(0.5))
+
+
+class TestRelayParity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_level_accumulation_matches_walk(self, seed):
+        from repro.geometry.field import Field
+        from repro.network.routing import RoutingTree
+        from repro.network.topology import Topology
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(10, 80))
+        fld = Field(50.0)
+        pos = fld.deploy_uniform(n, rng)
+        topo = Topology(pos, 18.0, base_station=fld.base_station)
+        tree = RoutingTree(topo)
+        order = np.argsort(tree.dist, kind="stable")[::-1]
+        levels = relay_levels(tree.parent, tree.dist, tree.base, n)
+        for _ in range(5):
+            origins = np.zeros(n, dtype=bool)
+            origins[rng.random(n) > 0.5] = True
+            origins &= np.isfinite(tree.dist[:n])
+            cnt = np.zeros(n + 1, dtype=np.int64)
+            cnt[:n][origins] = 1
+            relay_accumulate(cnt, tree.parent, levels)
+            ref = np.zeros(n + 1, dtype=np.int64)
+            ref[:n][origins] = 1
+            for v in order:
+                if v == tree.base or ref[v] == 0:
+                    continue
+                p = tree.parent[v]
+                if p >= 0:
+                    ref[p] += ref[v]
+            assert np.array_equal(cnt, ref)
+
+
+@contextlib.contextmanager
+def soa_env(value):
+    """Set ``REPRO_SOA`` for the block (hypothesis-safe: no fixture)."""
+    old = os.environ.get("REPRO_SOA")
+    os.environ["REPRO_SOA"] = value
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_SOA", None)
+        else:
+            os.environ["REPRO_SOA"] = old
+
+
+class TestEngineEquivalence:
+    def run_snapshotted(self, soa, checkpoints, **overrides):
+        with soa_env(soa):
+            cfg = SimulationConfig(**{**SMALL_CONFIG, **overrides})
+            world = World(cfg)
+            snaps = []
+            for t in checkpoints:
+                world.sim.run_until(t)
+                world._advance_energy()
+                snaps.append(snapshot_arrays(world.state))
+            return snaps
+
+    @staticmethod
+    def assert_snaps_equal(a, b, context):
+        for snap_a, snap_b in zip(a, b):
+            assert set(snap_a) == set(snap_b)
+            for key in snap_a:
+                assert np.array_equal(snap_a[key], snap_b[key]), (
+                    f"{key} diverged between REPRO_SOA=0 and 1 ({context})"
+                )
+
+    @pytest.mark.parametrize("activation", ["round_robin", "full_time"])
+    def test_whole_run_snapshots_identical(self, activation):
+        checkpoints = [3600.0, 3 * 3600.0, 6 * 3600.0]
+        ref = self.run_snapshotted("0", checkpoints, activation=activation)
+        soa = self.run_snapshotted("1", checkpoints, activation=activation)
+        self.assert_snaps_equal(ref, soa, activation)
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_sensors=st.integers(8, 40),
+        ticks=st.lists(st.integers(1, 9), min_size=1, max_size=6),
+        activation=st.sampled_from(["round_robin", "full_time"]),
+        erp=st.sampled_from([0.0, 0.5, 1.0]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_random_tick_sequences_identical(
+        self, seed, n_sensors, ticks, activation, erp
+    ):
+        # Random checkpoint times (multiples of a half-tick, so events
+        # and checkpoint boundaries interleave in interesting ways).
+        times, t = [], 0.0
+        for step in ticks:
+            t += step * 300.0
+            times.append(t)
+        overrides = dict(
+            seed=seed, n_sensors=n_sensors, activation=activation, erp=erp,
+            sim_time_s=times[-1],
+        )
+        ref = self.run_snapshotted("0", times, **overrides)
+        soa = self.run_snapshotted("1", times, **overrides)
+        self.assert_snaps_equal(ref, soa, f"seed={seed}")
+
+    def test_summaries_identical_with_leakage_and_adaptive(self, monkeypatch):
+        cfg = SimulationConfig(
+            **{
+                **SMALL_CONFIG,
+                "self_discharge_fraction_per_day": 0.05,
+                "adaptive_erp": True,
+            }
+        )
+        monkeypatch.setenv("REPRO_SOA", "0")
+        ref = run_simulation(cfg).as_dict()
+        monkeypatch.setenv("REPRO_SOA", "1")
+        soa = run_simulation(cfg).as_dict()
+        assert ref == soa
+
+
+class TestShadowDebug:
+    def test_debug_mode_runs_clean(self, monkeypatch):
+        """REPRO_DEBUG_SOA runs both engines and must not trip."""
+        monkeypatch.setenv("REPRO_SOA", "1")
+        monkeypatch.setenv("REPRO_DEBUG_SOA", "1")
+        summary = run_simulation(SimulationConfig(**SMALL_CONFIG)).as_dict()
+        monkeypatch.delenv("REPRO_DEBUG_SOA")
+        assert summary == run_simulation(SimulationConfig(**SMALL_CONFIG)).as_dict()
+
+    def test_shadow_compare_raises_on_divergence(self):
+        with pytest.raises(AssertionError, match="diverged"):
+            _shadow_compare("unit", np.array([1, 2]), np.array([1, 3]))
+
+
+class TestAllocationDiscipline:
+    def test_alloc_counter_flat_across_ticks(self):
+        """Steady-state ticks reuse the preallocated scratch: after the
+        warm-up tick, `sim.soa.alloc` must not move until the next
+        cluster epoch can resize the member matrix."""
+        from repro.obs.instruments import Instruments
+
+        instruments = Instruments()
+        cfg = SimulationConfig(**{**SMALL_CONFIG, "target_period_s": 10 * 3600.0})
+        world = World(cfg, instruments=instruments)
+        counter = instruments.counter("sim.soa.alloc")
+        world.sim.run_until(2 * cfg.tick_s)  # warm-up: lazy scratch exists now
+        allocs_after_warmup = counter.value
+        world.sim.run_until(9 * 3600.0)  # many ticks, no relocation epoch
+        assert counter.value == allocs_after_warmup, (
+            "SoA scratch was reallocated during steady-state ticks"
+        )
+
+    def test_state_arrays_alias_canonical_buffers(self):
+        world = World(SimulationConfig(**SMALL_CONFIG))
+        s = world.state
+        assert s.arrays is not None
+        assert s.arrays.levels_j is s.bank.levels_j
+        assert s.arrays.positions is s.sensor_pos
+        assert s.arrays.requested is s.requested
+        assert s.arrays.cluster_id is s.cluster_set.membership
+        assert s.arrays.rv_returning is world.fleet.returning
+        world.sim.run_until(3600.0)
+        # Aliases must survive recomputes and rebuilds within the epoch.
+        assert s.arrays.rates_w is world.energy.rates
+        assert s.arrays.levels_j is s.bank.levels_j
+
+    def test_rv_block_write_through(self):
+        world = World(SimulationConfig(**SMALL_CONFIG))
+        world.sim.run_until(6 * 3600.0)
+        world._advance_energy()
+        a = world.state.arrays
+        for rv in world.fleet.rvs:
+            assert np.array_equal(a.rv_pos[rv.rv_id], rv.position)
+            assert a.rv_level_j[rv.rv_id] == rv.battery.level_j
+            assert a.rv_busy[rv.rv_id] == rv.busy
+
+    def test_reference_engine_builds_no_arrays(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOA", "0")
+        world = World(SimulationConfig(**SMALL_CONFIG))
+        assert world.state.arrays is None
+        assert isinstance(world.state.activator, (RoundRobinActivator, FullTimeActivator))
+
+
+class TestProvenance:
+    def test_manifest_records_engine(self, tmp_path, monkeypatch):
+        from repro.sim.runner import run_with_telemetry
+
+        monkeypatch.setenv("REPRO_SOA", "1")
+        cfg = SimulationConfig(**{**SMALL_CONFIG, "sim_time_s": 3600.0})
+        _, manifest = run_with_telemetry(cfg, tmp_path)
+        assert manifest.engine["soa"] is True
+        # And it round-trips through the JSON on disk.
+        from repro.obs.manifest import RunManifest
+
+        loaded = RunManifest.load(tmp_path)
+        assert loaded.engine == manifest.engine
+
+    def test_manifest_from_dict_tolerates_missing_engine(self):
+        from repro.obs.manifest import RunManifest
+
+        m = RunManifest.create(config={"n_sensors": 1}, seed=0, wall_time_s=0.0)
+        data = m.as_dict()
+        data.pop("engine")
+        assert RunManifest.from_dict(data).engine == {}
+
+    def test_cli_no_soa_sets_env(self, monkeypatch):
+        from repro.cli import build_parser
+
+        monkeypatch.delenv("REPRO_SOA", raising=False)
+        parser = build_parser()
+        args = parser.parse_args(["run", "--no-soa"])
+        assert args.soa is False
+        args = parser.parse_args(["run", "--soa"])
+        assert args.soa is True
+        args = parser.parse_args(["run"])
+        assert args.soa is None
