@@ -11,6 +11,12 @@ Commands:
 * ``report`` — render an archived telemetry directory as tables.
 * ``drift`` — diff two telemetry/manifest directories (or a benchmark
   history file) for metric drift; exit 1 when anything drifted.
+* ``postmortem`` — render a flight-recorder bundle (written by
+  ``run --postmortem DIR`` or flushed automatically on a crash or
+  monitor violation) as a human-readable incident report.
+* ``replay`` — restore a bundle's checkpoint and re-execute it
+  deterministically, diffing every replayed tick against the recorded
+  state digests; exit 1 on divergence.
 
 Every simulation command accepts ``--preset {small,experiment,paper}``
 plus individual overrides, or ``--config file.json`` (see
@@ -94,16 +100,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
             exporters = None
             if args.exporters:
                 exporters = [e.strip() for e in args.exporters.split(",") if e.strip()]
-            summary, manifest = run_with_telemetry(cfg, args.telemetry, exporters)
+            summary, manifest = run_with_telemetry(
+                cfg, args.telemetry, exporters,
+                # An explicit --postmortem arms the recorder even
+                # without REPRO_BLACKBOX; the bundle lands at DIR.
+                blackbox=True if args.postmortem else None,
+                postmortem=args.postmortem,
+            )
             return summary
+        if args.postmortem:
+            from .sim.runner import run_recorded
+
+            return run_recorded(cfg, args.postmortem, strict=args.strict_monitors)
         return run_simulation(cfg)
 
-    if args.profile:
-        from .utils.profiling import profile_call
+    from .obs import InvariantViolation
 
-        summary, hot_rows = profile_call(_run, top=args.profile_top)
-    else:
-        summary, hot_rows = _run(), None
+    try:
+        if args.profile:
+            from .utils.profiling import profile_call
+
+            summary, hot_rows = profile_call(_run, top=args.profile_top)
+        else:
+            summary, hot_rows = _run(), None
+    except InvariantViolation as exc:
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        if args.postmortem:
+            print(f"postmortem bundle written to {args.postmortem} "
+                  f"(inspect with `repro postmortem`, re-execute with "
+                  f"`repro replay`)", file=sys.stderr)
+        return 1
     if args.json:
         payload = {"config": config_to_dict(cfg), "summary": summary.as_dict()}
         if manifest is not None:
@@ -162,6 +188,32 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 2
     print(format_report(data))
     return 0
+
+
+def _cmd_postmortem(args: argparse.Namespace) -> int:
+    from .obs.blackbox import format_postmortem, load_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except (FileNotFoundError, ValueError, json.JSONDecodeError) as exc:
+        print(f"postmortem: {exc}", file=sys.stderr)
+        return 2
+    print(format_postmortem(bundle, max_records=args.records))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .obs.blackbox import load_bundle
+    from .sim.replay import format_replay, replay_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+        result = replay_bundle(bundle, to_tick=args.to_tick, engine=args.engine)
+    except (FileNotFoundError, ValueError, json.JSONDecodeError) as exc:
+        print(f"replay: {exc}", file=sys.stderr)
+        return 2
+    print(format_replay(result))
+    return 0 if result.ok else 1
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
@@ -321,6 +373,16 @@ def build_parser() -> argparse.ArgumentParser:
              "the object-walking reference; default: REPRO_SOA, else on)",
     )
     p_run.add_argument(
+        "--postmortem", metavar="DIR",
+        help="arm the flight recorder and write a postmortem bundle to "
+             "DIR (guaranteed without --telemetry; with --telemetry, "
+             "flushed on failure, violation, or run end)",
+    )
+    p_run.add_argument(
+        "--strict-monitors", action=argparse.BooleanOptionalAction, default=None,
+        help="make invariant violations raise (default: REPRO_STRICT_MONITORS)",
+    )
+    p_run.add_argument(
         "--profile", action="store_true",
         help="run under cProfile and print the hottest functions",
     )
@@ -364,6 +426,33 @@ def build_parser() -> argparse.ArgumentParser:
              "on one side by design, e.g. counter.sim.soa.*",
     )
     p_drift.set_defaults(func=_cmd_drift)
+
+    p_pm = sub.add_parser(
+        "postmortem", help="render a flight-recorder bundle as an incident report"
+    )
+    p_pm.add_argument("bundle", help="bundle directory (holds blackbox.json)")
+    p_pm.add_argument(
+        "--records", type=int, default=12, metavar="N",
+        help="flight records to show from the tail of the ring (default: 12)",
+    )
+    p_pm.set_defaults(func=_cmd_postmortem)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="re-execute a bundle deterministically and diff against its digests",
+    )
+    p_replay.add_argument("bundle", help="bundle directory (holds blackbox.json)")
+    p_replay.add_argument(
+        "--to-tick", type=int, default=None, metavar="T",
+        help="replay up to record seq T (default: the bundle's last record)",
+    )
+    p_replay.add_argument(
+        "--engine", choices=("soa", "ref"), default=None,
+        help="force the tick engine for the replay (default: the "
+             "session's REPRO_SOA setting); replaying a bundle recorded "
+             "on the other engine doubles as a bit-exactness audit",
+    )
+    p_replay.set_defaults(func=_cmd_replay)
 
     p_est = sub.add_parser("estimate", help="closed-form deployment estimates")
     _add_config_args(p_est)

@@ -36,7 +36,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..obs.instruments import NULL_INSTRUMENTS
 from ..obs.spans import NULL_TRACER, SpanTracer
@@ -94,11 +95,52 @@ def _run_cell_traced(
     return summary, tracer.to_rows()
 
 
+def _run_cell_recorded(
+    task: Tuple[SimulationConfig, str, bool],
+) -> Tuple[SimulationSummary, Optional[List[Dict[str, Any]]]]:
+    """Pool worker: run one cell with the flight recorder armed.
+
+    ``task`` is ``(config, bundle_dir, traced)`` — a single tuple so
+    the worker stays a one-argument, picklable ``pool.map`` target.  On
+    any exception the recorder flushes a postmortem bundle to
+    ``bundle_dir`` before the exception propagates to the parent; a
+    clean run with monitor violations flushes one too.  The bundle path
+    is keyed by grid index in the parent, so reruns land in the same
+    place regardless of pool scheduling.
+    """
+    from ..obs import BlackBoxRecorder, MonitorSet
+    from ..sim.runner import _flush_postmortem
+
+    config, bundle_dir, traced = task
+    recorder = BlackBoxRecorder()
+    monitors = MonitorSet(blackbox=recorder)
+    tracer = SpanTracer() if traced else None
+    kwargs: Dict[str, Any] = {"monitors": monitors, "blackbox": recorder}
+    if tracer is not None:
+        kwargs["spans"] = tracer
+    world = World(config, **kwargs)
+    try:
+        summary = world.run()
+    except BaseException as exc:
+        _flush_postmortem(
+            recorder, bundle_dir, reason="exception", config=config,
+            monitors=monitors, spans=tracer, world=world, error=exc,
+        )
+        raise
+    if monitors.violations:
+        _flush_postmortem(
+            recorder, bundle_dir, reason="violation", config=config,
+            monitors=monitors, spans=tracer,
+        )
+    return summary, tracer.to_rows() if tracer is not None else None
+
+
 def map_configs(
     configs: Sequence[SimulationConfig],
     jobs: Optional[int] = None,
     instruments=None,
     spans=None,
+    postmortem_dir: Optional[Union[str, Path]] = None,
 ) -> List[SimulationSummary]:
     """Run every configuration, in order, through cache + process pool.
 
@@ -113,6 +155,12 @@ def map_configs(
     order (deterministic id renumbering), and cache hits become
     ``executor.cache_hit`` events — the merged trace is identical in
     structure for any ``jobs`` value.
+
+    With ``postmortem_dir``, every miss runs with the flight recorder
+    armed and writes ``<postmortem_dir>/cell-<grid index>`` bundles on
+    failure or monitor violation — the same grid-order discipline as
+    the span merge, so a crashing cell lands at the same path however
+    the pool schedules it.
     """
     from .cache import cache_lookup, cache_store
 
@@ -144,7 +192,27 @@ def map_configs(
         sweep_span.set(cache_hits=len(configs) - len(misses))
         if misses:
             todo = [configs[i] for i in misses]
-            if sp.enabled:
+            if postmortem_dir is not None:
+                root = Path(postmortem_dir)
+                tasks = [
+                    (configs[i], str(root / f"cell-{i:04d}"), sp.enabled)
+                    for i in misses
+                ]
+                if n_jobs == 1 or len(tasks) == 1:
+                    guarded = [_run_cell_recorded(t) for t in tasks]
+                else:
+                    ctx = multiprocessing.get_context(_pool_start_method())
+                    with ctx.Pool(min(n_jobs, len(tasks))) as pool:
+                        guarded = pool.map(_run_cell_recorded, tasks)
+                fresh = []
+                for i, (summary, rows) in zip(misses, guarded):
+                    if sp.enabled and rows is not None:
+                        sp.absorb(
+                            rows, parent=sweep_span,
+                            root_attrs={"cell": i, "cache": "miss"},
+                        )
+                    fresh.append(summary)
+            elif sp.enabled:
                 if n_jobs == 1 or len(todo) == 1:
                     traced = [_run_cell_traced(c) for c in todo]
                 else:
@@ -191,6 +259,7 @@ def map_cells(
     jobs: Optional[int] = None,
     instruments=None,
     spans=None,
+    postmortem_dir: Optional[Union[str, Path]] = None,
     **overrides,
 ) -> Dict[CellKey, SimulationSummary]:
     """Execute a whole ERP x scheduler sweep grid, one run per key.
@@ -207,5 +276,8 @@ def map_cells(
         scale.base_config(scheduler=sched, erp=erp, **overrides).with_overrides(seed=seed)
         for sched, erp, seed in keys
     ]
-    summaries = map_configs(configs, jobs=jobs, instruments=instruments, spans=spans)
+    summaries = map_configs(
+        configs, jobs=jobs, instruments=instruments, spans=spans,
+        postmortem_dir=postmortem_dir,
+    )
     return dict(zip(keys, summaries))

@@ -12,7 +12,11 @@ exported through pluggable, registry-named formats
 :class:`RunManifest` (:mod:`repro.obs.manifest`).  ``repro report DIR``
 renders an archived directory back into tables and a span tree
 (:mod:`repro.obs.report`); ``repro drift A B`` diffs two archives
-(:mod:`repro.obs.drift`).
+(:mod:`repro.obs.drift`).  A :class:`BlackBoxRecorder`
+(:mod:`repro.obs.blackbox`) keeps a bounded ring of per-tick state
+digests plus periodic checkpoints and flushes a self-contained
+postmortem bundle on failure; ``repro postmortem`` renders it and
+``repro replay`` re-executes it deterministically.
 
 The package deliberately never imports :mod:`repro.sim` — the
 simulation state holds ``instruments``/``spans``/``monitors``
@@ -32,6 +36,17 @@ Quickstart::
     # spans.jsonl
 """
 
+from .blackbox import (
+    NULL_BLACKBOX,
+    BlackBoxRecorder,
+    NullBlackBox,
+    PostmortemBundle,
+    blackbox_enabled,
+    digest_rng,
+    digest_state,
+    format_postmortem,
+    load_bundle,
+)
 from .drift import diff_metrics, format_drift, load_metrics
 from .exporters import (
     DEFAULT_EXPORTERS,
@@ -70,6 +85,7 @@ from .spans import (
 )
 
 __all__ = [
+    "BlackBoxRecorder",
     "Counter",
     "CsvExporter",
     "DEFAULT_EXPORTERS",
@@ -79,13 +95,16 @@ __all__ = [
     "InvariantViolation",
     "JsonlExporter",
     "MonitorSet",
+    "NULL_BLACKBOX",
     "NULL_INSTRUMENTS",
     "NULL_MONITORS",
     "NULL_TRACER",
+    "NullBlackBox",
     "NullInstruments",
     "NullMonitors",
     "NullTracer",
     "PhaseTimer",
+    "PostmortemBundle",
     "PrometheusExporter",
     "RunManifest",
     "Span",
@@ -93,11 +112,16 @@ __all__ = [
     "SpansExporter",
     "SqliteExporter",
     "TelemetryBundle",
+    "blackbox_enabled",
     "config_digest",
     "diff_metrics",
+    "digest_rng",
+    "digest_state",
     "format_drift",
+    "format_postmortem",
     "format_report",
     "git_revision",
+    "load_bundle",
     "load_metrics",
     "load_report",
     "load_spans",

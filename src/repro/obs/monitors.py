@@ -63,6 +63,15 @@ class MonitorSet:
             attached to the currently open span as events.
         strict: raise :class:`InvariantViolation` on the first
             violation.  ``None`` consults ``REPRO_STRICT_MONITORS``.
+        blackbox: a :class:`~repro.obs.blackbox.BlackBoxRecorder`;
+            violations are registered on it so a postmortem bundle
+            carries them.
+
+    ``REPRO_MONITOR_ATOL_J`` overrides the per-instance energy
+    tolerance — its intended use is *forcing* a violation (a negative
+    value trips the conservation check on the first advance without
+    touching any state) to exercise the postmortem/replay pipeline
+    end to end.
     """
 
     enabled = True
@@ -79,10 +88,15 @@ class MonitorSet:
         instruments=None,
         spans=None,
         strict: Optional[bool] = None,
+        blackbox=None,
     ) -> None:
         self.instruments = instruments if instruments is not None else NULL_INSTRUMENTS
         self.spans = spans if spans is not None else NULL_TRACER
         self.strict = strict_monitors_default() if strict is None else bool(strict)
+        self.blackbox = blackbox
+        atol = os.environ.get("REPRO_MONITOR_ATOL_J")
+        if atol is not None:
+            self.ENERGY_ATOL_J = float(atol)
         self.violations: List[Dict[str, Any]] = []
         # Pre-create the total so a clean run's snapshot shows an
         # explicit zero (CI gates on it).
@@ -103,6 +117,8 @@ class MonitorSet:
         self.spans.event(
             "invariant.violation", invariant=invariant, t_sim=float(t), message=message
         )
+        if self.blackbox is not None and self.blackbox.enabled:
+            self.blackbox.note_violation(record)
         if self.strict:
             raise InvariantViolation(f"[{invariant}] t={t:.1f}s: {message}")
 
@@ -333,6 +349,17 @@ class MonitorSet:
             by_invariant[v["invariant"]] = by_invariant.get(v["invariant"], 0) + 1
         return {"total": len(self.violations), "by_invariant": by_invariant}
 
+    def describe(self) -> Dict[str, Any]:
+        """Strictness + tolerances, as stamped into postmortem bundles
+        so a replay can arm identical tripwires without consulting the
+        (possibly different) environment."""
+        return {
+            "strict": self.strict,
+            "energy_atol_j": float(self.ENERGY_ATOL_J),
+            "energy_rtol": float(self.ENERGY_RTOL),
+            "plan_atol_j": float(self.PLAN_ATOL_J),
+        }
+
 
 class NullMonitors:
     """The zero-overhead fast path (mirrors ``NullInstruments``).
@@ -366,6 +393,9 @@ class NullMonitors:
 
     def summary(self) -> Dict[str, Any]:
         return {"total": 0, "by_invariant": {}}
+
+    def describe(self) -> Dict[str, Any]:
+        return {"strict": False}
 
 
 #: The shared default; simulation state falls back to it when no

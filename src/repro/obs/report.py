@@ -28,13 +28,28 @@ def load_report(directory: Union[str, Path]) -> Dict[str, Any]:
     when present, ``event_counts`` / ``sample_counts`` aggregated from
     ``events.jsonl`` and the raw ``spans`` rows from ``spans.jsonl``.
     Raises ``FileNotFoundError`` if the directory has no manifest.
+
+    An archived directory that lost files (partial copy, interrupted
+    run, pruned exports) still reports: missing or truncated telemetry
+    files are skipped and listed under ``"missing"`` instead of
+    raising.
     """
     directory = Path(directory)
     manifest = RunManifest.load(directory)
     out: Dict[str, Any] = {"manifest": manifest, "directory": directory}
+    missing: List[str] = sorted(
+        {
+            name
+            for names in manifest.files.values()
+            for name in names
+            if not (directory / name).is_file()
+        }
+    )
     spans_path = directory / "spans.jsonl"
     if spans_path.is_file():
-        out["spans"] = load_spans(spans_path)
+        # Tolerant parse: a crashed run's final line is often truncated
+        # mid-write, and a postmortem reader wants the surviving spans.
+        out["spans"] = load_spans(spans_path, strict=False)
     events_path = directory / "events.jsonl"
     if events_path.is_file():
         event_counts: Dict[str, int] = {}
@@ -44,7 +59,10 @@ def load_report(directory: Union[str, Path]) -> Dict[str, Any]:
                 line = line.strip()
                 if not line:
                     continue
-                record = json.loads(line)
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
                 if record.get("type") == "event":
                     kind = record.get("kind", "?")
                     event_counts[kind] = event_counts.get(kind, 0) + 1
@@ -53,6 +71,8 @@ def load_report(directory: Union[str, Path]) -> Dict[str, Any]:
                     sample_counts[name] = sample_counts.get(name, 0) + 1
         out["event_counts"] = event_counts
         out["sample_counts"] = sample_counts
+    if missing:
+        out["missing"] = missing
     return out
 
 
@@ -118,6 +138,12 @@ def format_report(data: Dict[str, Any]) -> str:
             f"Span tree ({len(spans)} span(s), spans.jsonl; "
             "name x count, wall-clock total):\n"
             + render_span_tree(spans)
+        )
+
+    if data.get("missing"):
+        blocks.append(
+            "WARNING: manifest lists files missing from the archive "
+            "(partial copy?): " + ", ".join(data["missing"])
         )
 
     return "\n\n".join(blocks)

@@ -277,8 +277,15 @@ def spans_to_jsonl_lines(rows: Iterable[Dict[str, Any]]) -> List[str]:
     return [json.dumps(row) for row in rows]
 
 
-def load_spans(source: Union[str, "Any", Iterable[str]]) -> List[Dict[str, Any]]:
-    """Read span rows back from a ``spans.jsonl`` path or lines."""
+def load_spans(
+    source: Union[str, "Any", Iterable[str]], strict: bool = True
+) -> List[Dict[str, Any]]:
+    """Read span rows back from a ``spans.jsonl`` path or lines.
+
+    With ``strict=False`` malformed lines are skipped instead of
+    raising — a crashed run's last line is often truncated mid-write,
+    and reporting tools want the surviving rows, not an exception.
+    """
     if hasattr(source, "read"):
         lines = source.read().splitlines()
     elif isinstance(source, (str, bytes)) or hasattr(source, "open"):
@@ -289,8 +296,13 @@ def load_spans(source: Union[str, "Any", Iterable[str]]) -> List[Dict[str, Any]]
     rows = []
     for line in lines:
         line = line.strip()
-        if line:
+        if not line:
+            continue
+        try:
             rows.append(json.loads(line))
+        except ValueError:
+            if strict:
+                raise
     return rows
 
 

@@ -90,6 +90,8 @@ class ClusterManager:
         self._c_relocations.inc()
         if s.trace.enabled:
             s.trace.emit(s.now, EventKind.TARGETS_RELOCATED, s.targets.epoch)
+        if s.blackbox.enabled:
+            s.blackbox.note("relocated_epoch", int(s.targets.epoch))
         self.rebuild()
 
     def rotate(self) -> np.ndarray:
@@ -103,6 +105,8 @@ class ClusterManager:
         handoffs = s.activator.rotate(s.bank.alive_mask())
         if len(handoffs):
             self._c_handoffs.inc(len(handoffs))
+            if s.blackbox.enabled:
+                s.blackbox.note("handoffs", int(len(handoffs)))
             if s.trace.enabled:
                 s.trace.emit(s.now, EventKind.ROTATION, -1, float(len(handoffs)))
         return handoffs

@@ -138,6 +138,9 @@ class RequestGate:
                 s.now, len(to_release), len(s.requests),
             )
             self._c_released.inc(len(to_release))
+            if s.blackbox.enabled:
+                s.blackbox.note("erc_released", [int(n) for n in to_release])
+                s.blackbox.note("erp", float(self.erc.erp))
         self._g_backlog.set(len(s.requests))
         return bool(to_release)
 

@@ -32,6 +32,7 @@ from ...core import kernels
 from ...network.linkquality import apply_etx_metric
 from ...network.routing import RoutingTree
 from ...network.topology import Topology
+from ...obs.blackbox import NULL_BLACKBOX
 from ...obs.instruments import NULL_INSTRUMENTS
 from ...obs.monitors import NULL_MONITORS
 from ...obs.spans import NULL_TRACER
@@ -89,6 +90,7 @@ class SimulationState:
     instruments: object = NULL_INSTRUMENTS
     spans: object = NULL_TRACER
     monitors: object = NULL_MONITORS
+    blackbox: object = NULL_BLACKBOX
     # -- SoA tick engine (None = object-walking reference path) ------
     arrays: Optional[StateArrays] = None
 
@@ -101,6 +103,8 @@ class SimulationState:
             self.spans = NULL_TRACER
         if self.monitors is None:
             self.monitors = NULL_MONITORS
+        if self.blackbox is None:
+            self.blackbox = NULL_BLACKBOX
         if self.arrays is not None:
             # Per-sensor views alias the canonical buffers: the arrays
             # *are* the state, not a copy of it.
@@ -121,6 +125,7 @@ class SimulationState:
         instruments=None,
         spans=None,
         monitors=None,
+        blackbox=None,
     ) -> "SimulationState":
         """Deploy sensors, build the static network and the targets.
 
@@ -192,5 +197,6 @@ class SimulationState:
             instruments=instruments if instruments is not None else NULL_INSTRUMENTS,
             spans=spans if spans is not None else NULL_TRACER,
             monitors=monitors if monitors is not None else NULL_MONITORS,
+            blackbox=blackbox if blackbox is not None else NULL_BLACKBOX,
             arrays=arrays,
         )

@@ -109,6 +109,33 @@ class Simulator:
             return True
         return False
 
+    def pending_events(self) -> list:
+        """The live scheduled events as ``(time, priority, callback)``
+        triples in firing order.
+
+        Cancelled entries are skipped (not purged).  Used by the flight
+        recorder to decide whether the queue is checkpointable and to
+        serialize it when it is.
+        """
+        live = [
+            (e.time, e.priority, e.callback)
+            for e in self._heap
+            if e.callback is not None
+        ]
+        live.sort(key=lambda item: (item[0], item[1]))
+        return live
+
+    def reset(self, now: float, events_fired: int = 0) -> None:
+        """Clear the queue and rebase the clock — checkpoint restore.
+
+        The insertion-sequence counter keeps running; determinism only
+        needs relative order among coexisting events, which the restore
+        path re-establishes by rescheduling in recorded firing order.
+        """
+        self.now = float(now)
+        self._heap = []
+        self.events_fired = int(events_fired)
+
     def run_until(self, t_end: float) -> None:
         """Fire events up to and including time ``t_end``; the clock
         lands exactly on ``t_end`` afterwards.

@@ -21,11 +21,13 @@ import numpy as np
 from ..core.scheduling import Scheduler
 from ..obs import (
     DEFAULT_EXPORTERS,
+    BlackBoxRecorder,
     Instruments,
     MonitorSet,
     RunManifest,
     SpanTracer,
     TelemetryBundle,
+    blackbox_enabled,
 )
 from ..registry import EXPORTERS, SCHEDULERS
 from .config import SimulationConfig
@@ -38,6 +40,7 @@ from .world import World
 __all__ = [
     "make_scheduler",
     "run_simulation",
+    "run_recorded",
     "run_seeds",
     "run_with_telemetry",
     "average_summaries",
@@ -107,10 +110,99 @@ def run_seeds(
         return pool.map(run_simulation, configs)
 
 
+def _make_blackbox(blackbox) -> Optional[BlackBoxRecorder]:
+    """Resolve the ``blackbox`` argument convention shared by the run
+    helpers: ``None`` consults ``REPRO_BLACKBOX``, ``True``/``False``
+    force it on/off, and a recorder instance is used as-is."""
+    if blackbox is None:
+        return BlackBoxRecorder() if blackbox_enabled() else None
+    if blackbox is True:
+        return BlackBoxRecorder()
+    if blackbox is False:
+        return None
+    return blackbox
+
+
+def _flush_postmortem(
+    recorder: BlackBoxRecorder,
+    directory: Union[str, Path],
+    *,
+    reason: str,
+    config: SimulationConfig,
+    monitors=None,
+    spans=None,
+    instruments=None,
+    world=None,
+    error: Optional[BaseException] = None,
+) -> Path:
+    """Write a postmortem bundle; never raises (a failing flush must
+    not mask the original failure)."""
+    final = None
+    if error is not None and world is not None:
+        from .replay import abort_record
+
+        try:
+            final = abort_record(world, error)
+        except Exception:  # state too broken to digest — flush without
+            logger.exception("could not digest state for the abort record")
+    try:
+        path = recorder.flush(
+            directory,
+            reason=reason,
+            config=config_to_dict(config),
+            engine=engine_provenance(),
+            monitors=monitors.describe() if monitors is not None else None,
+            spans=spans,
+            instruments=instruments.snapshot() if instruments is not None else None,
+            error=f"{type(error).__name__}: {error}" if error is not None else None,
+            final_record=final,
+        )
+        logger.warning("postmortem bundle written to %s (reason: %s)", path, reason)
+        return Path(directory)
+    except Exception:
+        logger.exception("failed to flush the postmortem bundle to %s", directory)
+        return Path(directory)
+
+
+def run_recorded(
+    config: SimulationConfig,
+    bundle_dir: Union[str, Path],
+    strict: Optional[bool] = None,
+) -> SimulationSummary:
+    """Run one simulation with the flight recorder armed and a
+    postmortem bundle guaranteed at ``bundle_dir``.
+
+    The bundle's reason reflects the outcome: ``exception`` when the
+    run died (the exception is re-raised after the flush, with an
+    ``abort`` record digesting the state at the failure point),
+    ``violation`` when non-strict monitors recorded violations, and
+    ``requested`` for a clean run.  ``strict`` arms strict monitors
+    (``None`` consults ``REPRO_STRICT_MONITORS``).
+    """
+    recorder = BlackBoxRecorder()
+    monitors = MonitorSet(strict=strict, blackbox=recorder)
+    world = World(config, monitors=monitors, blackbox=recorder)
+    try:
+        summary = world.run()
+    except BaseException as exc:
+        _flush_postmortem(
+            recorder, bundle_dir, reason="exception", config=config,
+            monitors=monitors, world=world, error=exc,
+        )
+        raise
+    reason = "violation" if monitors.violations else "requested"
+    _flush_postmortem(
+        recorder, bundle_dir, reason=reason, config=config, monitors=monitors,
+    )
+    return summary
+
+
 def run_with_telemetry(
     config: SimulationConfig,
     out_dir: Union[str, Path],
     exporters: Optional[Sequence[str]] = None,
+    blackbox=None,
+    postmortem: Optional[Union[str, Path]] = None,
 ) -> Tuple[SimulationSummary, RunManifest]:
     """Run one simulation with full telemetry archived to ``out_dir``.
 
@@ -129,22 +221,51 @@ def run_with_telemetry(
     Telemetry never touches the trajectory: the summary returned here
     is bit-identical to ``run_simulation(config)``.
 
+    ``blackbox`` arms the flight recorder (``None`` consults
+    ``REPRO_BLACKBOX``; ``True`` forces it; a
+    :class:`~repro.obs.BlackBoxRecorder` instance is used as-is).  With
+    a recorder armed, any exception or monitor violation flushes a
+    postmortem bundle to ``postmortem`` (default:
+    ``out_dir/postmortem``) before the exception propagates; passing
+    ``postmortem`` explicitly also flushes a bundle for clean runs.
+
     Returns:
         ``(summary, manifest)``.
     """
     names = list(exporters) if exporters is not None else list(DEFAULT_EXPORTERS)
     for name in names:
         EXPORTERS.check(name)
+    recorder = _make_blackbox(blackbox)
     instruments = Instruments()
     trace = TraceRecorder()
     spans = SpanTracer()
-    monitors = MonitorSet(instruments=instruments, spans=spans)
+    monitors = MonitorSet(instruments=instruments, spans=spans, blackbox=recorder)
     wall0 = time.perf_counter()
     world = World(
-        config, trace=trace, instruments=instruments, spans=spans, monitors=monitors
+        config, trace=trace, instruments=instruments, spans=spans, monitors=monitors,
+        blackbox=recorder,
     )
-    summary = world.run()
+    try:
+        summary = world.run()
+    except BaseException as exc:
+        if recorder is not None:
+            _flush_postmortem(
+                recorder,
+                Path(postmortem) if postmortem is not None
+                else Path(out_dir) / "postmortem",
+                reason="exception", config=config, monitors=monitors,
+                spans=spans, instruments=instruments, world=world, error=exc,
+            )
+        raise
     wall_time_s = time.perf_counter() - wall0
+    if recorder is not None and (postmortem is not None or monitors.violations):
+        _flush_postmortem(
+            recorder,
+            Path(postmortem) if postmortem is not None
+            else Path(out_dir) / "postmortem",
+            reason="violation" if monitors.violations else "requested",
+            config=config, monitors=monitors, spans=spans, instruments=instruments,
+        )
     if monitors.violations:
         logger.warning(
             "run completed with %d invariant violation(s): %s",

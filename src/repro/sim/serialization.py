@@ -19,6 +19,7 @@ from .metrics import SimulationSummary
 __all__ = [
     "config_to_dict",
     "config_from_dict",
+    "restore_arrays",
     "snapshot_arrays",
     "summary_to_dict",
 ]
@@ -125,3 +126,23 @@ def snapshot_arrays(state) -> Dict[str, np.ndarray]:
     if state.activator is not None:
         snap["active"] = state.activator.active_mask(alive)
     return snap
+
+
+def restore_arrays(state, snapshot: Dict[str, np.ndarray]) -> None:
+    """Write a :func:`snapshot_arrays` dict back into a live state —
+    the inverse of the snapshot for the *canonical* buffers.
+
+    Battery levels and request flags are written in place so the SoA
+    views established by ``SimulationState.__post_init__`` stay aliased
+    to the same memory; the clock is rebased to the snapshot time.
+
+    The derived fields of the snapshot (``alive``, ``membership``,
+    ``active``, ``pending_requests``) are not state of their own — they
+    live in the cluster set, activator, and request backlog — so the
+    full restore (:func:`repro.sim.replay.restore_world`) rebuilds those
+    components and then re-derives the fields; this function only
+    handles the flat arrays both engines share.
+    """
+    state.bank.levels_j[:] = snapshot["levels_j"]
+    state.requested[:] = snapshot["requested"]
+    state.sim.now = float(snapshot["time_s"])

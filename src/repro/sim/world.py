@@ -12,11 +12,13 @@ this module.  A single RNG seed makes a run fully deterministic.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Optional
 
 import numpy as np
 
 from ..core.scheduling import Scheduler
+from ..obs.blackbox import digest_fields, digest_rng, digest_state
 from ..registry import SCHEDULERS
 from .components import (
     PRIO_DISPATCH,
@@ -30,8 +32,14 @@ from .components import (
 )
 from .config import SimulationConfig
 from .metrics import SimulationSummary
+from .serialization import snapshot_arrays
 
 __all__ = ["World"]
+
+#: Cadence of full per-field digests in flight records (see
+#: :meth:`World._flight_record`); plain ticks in between carry only the
+#: combined state digest.
+_FULL_DIGEST_EVERY = 16
 
 
 class World:
@@ -58,12 +66,14 @@ class World:
         instruments=None,
         spans=None,
         monitors=None,
+        blackbox=None,
     ) -> None:
         self.cfg = config
         self.state = SimulationState.from_config(
             config, trace=trace, instruments=instruments, spans=spans,
-            monitors=monitors,
+            monitors=monitors, blackbox=blackbox,
         )
+        self._bb_wall = perf_counter()
         self.clusters = ClusterManager(self.state)
         if scheduler is None:
             scheduler = SCHEDULERS.build(config.scheduler, fleet_size=config.n_rvs)
@@ -91,6 +101,8 @@ class World:
             self.gate.check()
             self._record_metrics()
         self.sim.schedule_in(self.cfg.tick_s, self._on_tick, priority=PRIO_TICK)
+        if self.state.blackbox.enabled:
+            self._flight_record("tick")
 
     def _on_dispatch_round(self) -> None:
         """Periodic base-station scheduling round over the backlog."""
@@ -102,6 +114,8 @@ class World:
         self.sim.schedule_in(
             self.cfg.dispatch_period_s, self._on_dispatch_round, priority=PRIO_DISPATCH
         )
+        if self.state.blackbox.enabled:
+            self._flight_record("dispatch")
 
     def _on_relocate(self) -> None:
         with self.state.spans.span("relocate", t=self.state.now):
@@ -113,6 +127,49 @@ class World:
         self.sim.schedule_in(
             self.cfg.target_period_s, self._on_relocate, priority=PRIO_RELOCATE
         )
+        if self.state.blackbox.enabled:
+            self._flight_record("relocate")
+
+    def _flight_record(self, kind: str) -> None:
+        """One flight-recorder record for the periodic event just fired.
+
+        Runs *after* the handler rescheduled itself, so a checkpoint
+        taken here sees the complete pending-event set.  The digests
+        cover exactly the ``snapshot_arrays`` fields — the bit-equality
+        surface of the two tick engines — plus the RNG state, which is
+        what makes recorded runs replayable and engine-auditable.
+
+        Plain ticks get one combined digest (the per-event hot path);
+        every ``_FULL_DIGEST_EVERY``-th record and every decision event
+        (dispatch/relocate) also gets per-field digests, so a replay
+        divergence near those points names the exact drifted array.
+        The choice is a pure function of the record's ``seq``, which
+        keeps replayed records structurally identical to recorded ones.
+        """
+        s = self.state
+        bb = s.blackbox
+        wall = perf_counter()
+        snap = snapshot_arrays(s)
+        if kind != "tick" or (bb.seq + 1) % _FULL_DIGEST_EVERY == 0:
+            digests = digest_state(snap)
+        else:
+            digests = {"state": digest_fields(snap)}
+        bb.record(
+            kind,
+            s.now,
+            digests,
+            rng=digest_rng(s.rng.bit_generator.state),
+            wall_ms=round((wall - self._bb_wall) * 1e3, 3),
+            backlog=len(s.requests),
+            events_fired=s.sim.events_fired,
+        )
+        self._bb_wall = wall
+        if kind == "tick" and bb.should_checkpoint():
+            from .replay import capture_checkpoint
+
+            ckpt = capture_checkpoint(self, bb.seq)
+            if ckpt is not None:
+                bb.add_checkpoint(ckpt)
 
     def _record_metrics(self) -> None:
         s = self.state
@@ -212,6 +269,7 @@ _FORWARDED = {
     "arrays": "state.arrays",
     "instruments": "state.instruments", "spans": "state.spans",
     "monitors": "state.monitors",
+    "blackbox": "state.blackbox",
     "field": "state.field", "power": "state.power",
     "sensor_pos": "state.sensor_pos", "bank": "state.bank",
     "topology": "state.topology", "routing": "state.routing",

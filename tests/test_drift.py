@@ -156,3 +156,54 @@ class TestDriftCli:
         assert main(["drift", str(a), str(b), "--all"]) == 0
         out = capsys.readouterr().out
         assert "summary.traveling_energy_j" in out
+
+
+class TestDriftIgnoreCli:
+    """Exit-code semantics of ``repro drift --ignore GLOB``.
+
+    The contract: 0 = nothing drifted among the *compared* metrics,
+    1 = drift among the compared metrics, 2 = inputs unusable.
+    ``--ignore`` narrows what is compared — it must be able to turn a
+    1 into a 0, never into a 2.
+    """
+
+    def test_ignore_silences_matching_drift(self, tmp_path):
+        # Different seeds drift in every summary.* metric; ignoring the
+        # whole drifting families flips the verdict to clean.
+        a = telemetry_dir(tmp_path, "a")
+        b = telemetry_dir(tmp_path, "b", seed=99)
+        assert main(["drift", str(a), str(b)]) == 1
+        assert main([
+            "drift", str(a), str(b),
+            "--ignore", "summary.*", "--ignore", "counter.*",
+            "--ignore", "histogram.*", "--ignore", "gauge.*",
+        ]) == 0
+
+    def test_ignore_matches_both_sides(self, tmp_path, capsys):
+        # A glob drops one-sided metrics from BOTH archives: neither
+        # only_a nor only_b may survive as a "missing" row.
+        a = make_bench(tmp_path, [{"x": 1.0, "only_a": 2.0}])
+        b_path = tmp_path / "BENCH_y.json"
+        b_path.write_text(json.dumps(
+            {"latest": {"x": 1.0, "only_b": 3.0},
+             "history": [{"x": 1.0, "only_b": 3.0}]}
+        ))
+        assert main(["drift", str(a), str(b_path), "--ignore", "bench.only_*"]) == 0
+        out = capsys.readouterr().out
+        assert "only_a" not in out and "only_b" not in out
+
+    def test_ignore_all_is_vacuously_clean(self, tmp_path, capsys):
+        a = telemetry_dir(tmp_path, "a")
+        b = telemetry_dir(tmp_path, "b", seed=99)
+        assert main(["drift", str(a), str(b), "--ignore", "*"]) == 0
+        assert "0 metric(s)" in capsys.readouterr().out
+
+    def test_ignore_none_keeps_drift_exit(self, tmp_path):
+        a = telemetry_dir(tmp_path, "a")
+        b = telemetry_dir(tmp_path, "b", seed=99)
+        assert main(["drift", str(a), str(b), "--ignore", "nomatch.*"]) == 1
+
+    def test_ignore_does_not_mask_io_errors(self, tmp_path, capsys):
+        # Unusable inputs stay exit 2 even when everything is ignored.
+        assert main(["drift", str(tmp_path / "missing"), "--ignore", "*"]) == 2
+        assert "drift:" in capsys.readouterr().err
