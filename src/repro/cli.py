@@ -17,6 +17,11 @@ Commands:
 * ``replay`` — restore a bundle's checkpoint and re-execute it
   deterministically, diffing every replayed tick against the recorded
   state digests; exit 1 on divergence.
+* ``serve`` — run the long-lived sweep service on a unix socket: a
+  persistent warm worker pool plus an optional content-addressed
+  result store shared by every client.
+* ``submit`` — submit an ERP x scheduler grid to a running service and
+  stream per-cell results (table or JSON, reassembled in grid order).
 
 Every simulation command accepts ``--preset {small,experiment,paper}``
 plus individual overrides, or ``--config file.json`` (see
@@ -253,6 +258,22 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _jobs_type(value: str) -> int:
+    """Parse a ``--jobs`` argument: a positive integer, or ``auto``
+    for ``os.cpu_count()``."""
+    if value.strip().lower() == "auto":
+        return max(1, os.cpu_count() or 1)
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return jobs
+
+
 def _apply_jobs(args: argparse.Namespace) -> None:
     """Publish ``--jobs`` as ``REPRO_JOBS`` for the experiment layer.
 
@@ -339,6 +360,91 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             title=f"{metric} vs ERP ({base.sim_time_s / 86400:.1f} days, seeds {seeds})",
         )
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .experiments.service import SweepService
+
+    try:
+        service = SweepService(
+            args.socket,
+            jobs=args.jobs,
+            warm=not args.cold,
+            store_dir=args.store,
+            idle_timeout_s=args.idle_timeout,
+            postmortem_dir=args.postmortem,
+        )
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    store_note = f", store {args.store}" if args.store else ""
+    print(
+        f"repro sweep service listening on {args.socket} "
+        f"(jobs={service.jobs}{store_note})",
+        flush=True,
+    )
+    try:
+        served = service.serve_forever(max_requests=args.max_requests)
+    except KeyboardInterrupt:
+        served = service.requests_served
+    print(f"sweep service stopped after {served} request(s)")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .experiments.common import ExperimentScale
+    from .experiments.service import ServiceError, SweepClient
+    from .utils.stats import mean_std
+
+    schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+    erps = [float(x) for x in args.erps.split(",") if x.strip()]
+    seeds = [int(x) for x in args.seeds.split(",") if x.strip()]
+    scale = ExperimentScale("submit", days=args.days, seeds=tuple(seeds))
+    client = SweepClient(args.socket, timeout_s=args.timeout)
+    try:
+        grid = client.submit_grid(scale, schedulers, erps)
+        for cell in grid:
+            if not args.quiet:
+                sched, erp, seed = cell.key
+                print(
+                    f"cell {cell.index + 1}/{len(grid.keys)}: {sched} "
+                    f"erp={erp:g} seed={seed} [{cell.source}]",
+                    file=sys.stderr,
+                )
+        results = grid.results()
+    except (ServiceError, OSError) as exc:
+        print(f"submit: {exc} (is `repro serve --socket {args.socket}` running?)",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        payload = {
+            "results": {
+                f"{sched}:{erp:g}:{seed}": summary.as_dict()
+                for (sched, erp, seed), summary in results.items()
+            },
+            "sources": grid.sources,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    metric = args.metric
+    headers = ["ERP"] + schedulers
+    rows = []
+    for erp in erps:
+        row: list = [erp]
+        for sched in schedulers:
+            values = [
+                results[(sched, float(erp), int(seed))].as_dict()[metric]
+                for seed in seeds
+            ]
+            m, sd = mean_std(values)
+            row.append(f"{m:.4g} +/- {sd:.2g}")
+        rows.append(row)
+    sources = ", ".join(f"{k}: {v}" for k, v in sorted(grid.sources.items()))
+    print(format_table(
+        headers, rows,
+        title=f"{metric} vs ERP ({args.days:g} days, seeds {seeds}; {sources})",
+    ))
     return 0
 
 
@@ -468,8 +574,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figure", help="regenerate one paper figure (REPRO_SCALE applies)")
     p_fig.add_argument("id", help="4, 5, 6a, 6b, 6c, 6d, 7a or 7b")
     p_fig.add_argument(
-        "--jobs", type=int, metavar="N",
-        help="worker processes for the sweep cells (default: REPRO_JOBS, else 1)",
+        "--jobs", type=_jobs_type, metavar="N",
+        help="worker processes for the sweep cells "
+             "(N or 'auto'; default: REPRO_JOBS, else 1)",
     )
     p_fig.set_defaults(func=_cmd_figure)
 
@@ -490,10 +597,82 @@ def build_parser() -> argparse.ArgumentParser:
         "--seeds", default="1,2", help="comma-separated seeds (mean +/- std reported)"
     )
     p_sweep.add_argument(
-        "--jobs", type=int, metavar="N",
-        help="worker processes for the sweep cells (default: REPRO_JOBS, else 1)",
+        "--jobs", type=_jobs_type, metavar="N",
+        help="worker processes for the sweep cells "
+             "(N or 'auto'; default: REPRO_JOBS, else 1)",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived sweep service on a unix socket"
+    )
+    p_serve.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="unix socket path to listen on (created; removed on exit)",
+    )
+    p_serve.add_argument(
+        "--jobs", type=_jobs_type, metavar="N",
+        help="warm-pool worker processes (N or 'auto'; "
+             "default: REPRO_JOBS, else 1)",
+    )
+    p_serve.add_argument(
+        "--store", metavar="DIR",
+        help="content-addressed result store directory shared by all "
+             "clients (default: REPRO_STORE, else no store)",
+    )
+    p_serve.add_argument(
+        "--idle-timeout", type=float, metavar="S",
+        help="release warm-pool workers after S idle seconds "
+             "(default: keep them until shutdown)",
+    )
+    p_serve.add_argument(
+        "--postmortem", metavar="DIR",
+        help="arm the flight recorder for every miss; crashing cells "
+             "flush DIR/request-<n>/cell-<grid index> bundles",
+    )
+    p_serve.add_argument(
+        "--max-requests", type=int, metavar="N",
+        help="exit after N connections (default: serve until shutdown)",
+    )
+    p_serve.set_defaults(func=_cmd_serve, cold=False)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a sweep grid to a running `repro serve`"
+    )
+    p_submit.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="unix socket of the sweep service",
+    )
+    p_submit.add_argument(
+        "--schedulers", default="greedy,partition,combined",
+        help="comma-separated scheduler names",
+    )
+    p_submit.add_argument(
+        "--erps", default="0,0.2,0.4,0.6,0.8,1.0", help="comma-separated ERP values"
+    )
+    p_submit.add_argument(
+        "--seeds", default="1,2", help="comma-separated seeds (mean +/- std reported)"
+    )
+    p_submit.add_argument(
+        "--days", type=float, default=1.0, help="simulated horizon in days per cell"
+    )
+    p_submit.add_argument(
+        "--metric", default="traveling_energy_j",
+        help="summary metric to tabulate (see SimulationSummary.as_dict)",
+    )
+    p_submit.add_argument(
+        "--json", action="store_true",
+        help="emit the full grid-ordered results as JSON instead of a table",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, metavar="S",
+        help="socket timeout in seconds (default: wait indefinitely)",
+    )
+    p_submit.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-cell progress lines on stderr",
+    )
+    p_submit.set_defaults(func=_cmd_submit)
 
     return parser
 

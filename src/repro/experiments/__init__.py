@@ -5,7 +5,16 @@ recorded paper-vs-measured results.
 """
 
 from .cache import cached_run, cached_run_seeds
-from .executor import default_jobs, map_cells, map_configs, sweep_grid
+from .executor import (
+    CellResult,
+    GridJob,
+    default_jobs,
+    iter_configs,
+    map_cells,
+    map_configs,
+    submit_grid,
+    sweep_grid,
+)
 from .common import (
     ERP_GRID,
     SCHEMES,
@@ -22,7 +31,9 @@ from .fig7_profit import format_fig7_panel
 from .headline import compute_headline, format_headline
 
 __all__ = [
+    "CellResult",
     "ERP_GRID",
+    "GridJob",
     "SCHEMES",
     "ExperimentScale",
     "activity_saving_percent",
@@ -31,6 +42,8 @@ __all__ = [
     "compute_headline",
     "current_scale",
     "default_jobs",
+    "iter_configs",
+    "submit_grid",
     "format_fig4",
     "format_fig5",
     "format_fig7_panel",

@@ -8,25 +8,51 @@ keeping the output *bit-identical* to the serial path:
 * every cell is keyed by ``(scheduler, erp, seed)`` and the results are
   reassembled in grid order in the parent, so averaging and JSON
   serialization see exactly the sequence the serial loop would produce;
-* cache lookups (``REPRO_CACHE``) happen in the parent — only misses
-  are shipped to the pool — and completed cells are stored by the
-  parent, so workers stay pure functions of their configuration;
+* cache lookups (``REPRO_CACHE``) and content-addressed store lookups
+  (``REPRO_STORE``, :mod:`repro.experiments.store`) happen in the
+  parent — only misses are shipped to the pool — and completed cells
+  are stored by the parent, so workers stay pure functions of their
+  configuration;
 * the worker entry point is the module-level
   :func:`repro.sim.runner.run_simulation` over a picklable frozen
   ``SimulationConfig``, which makes the pool safe under both ``fork``
-  and ``spawn`` start methods.
+  and ``spawn`` start methods (``REPRO_START_METHOD`` forces one).
 
 Worker count comes from the ``jobs`` argument, else ``REPRO_JOBS``,
-else the older ``REPRO_PROCS`` knob, else 1 (serial, in-process).  The
-CLI exposes the same control as ``--jobs``.
+else the older ``REPRO_PROCS`` knob, else 1 (serial, in-process).
+``auto`` (either the argument via the CLI or the environment variable)
+resolves to ``os.cpu_count()``.  The CLI exposes the same control as
+``--jobs``.
+
+Two pool backends execute the misses:
+
+* the default **cold pool** — a fresh ``multiprocessing.Pool`` per
+  call, torn down when the call returns (nothing persists);
+* the **warm pool** (``warm=True`` or ``REPRO_WARM_POOL=1``) — the
+  process-wide persistent :class:`repro.experiments.pool.WarmPool`,
+  which survives across calls and amortizes interpreter start, imports
+  and per-worker caches.  Results come back through shared-memory
+  segments instead of pickle pipes where available.
+
+Both backends run the same worker functions over the same payloads in
+the same grid order, so summaries are byte-identical across
+``{jobs} x {warm}`` (covered by the golden execution matrix).  Nothing
+warm is imported — let alone spawned — unless a caller opts in.
+
+Streaming: :func:`iter_configs` yields ``(index, summary, source)``
+per cell *as cells finish*, and :func:`submit_grid` wraps a whole
+sweep grid into a :class:`GridJob` whose ``results()`` reassembles
+grid order at the end — the primitive behind ``repro serve`` /
+``repro submit`` (:mod:`repro.experiments.service`).
 
 Observability: pass an :class:`repro.obs.Instruments` registry to
 record ``executor.cells`` / ``executor.cache_hits`` /
-``executor.cache_misses`` counters and the ``executor.map`` phase
-timer.  Pass a :class:`repro.obs.SpanTracer` as ``spans`` and the
-fan-out becomes part of the flight-recorder trace: every cache miss
-runs through :func:`_run_cell_traced` (in the pool when ``jobs > 1``),
-its serialized child spans are merged under the parent ``executor.map``
+``executor.store_hits`` / ``executor.cache_misses`` counters and the
+``executor.map`` phase timer (the warm pool adds ``pool.*`` gauges).
+Pass a :class:`repro.obs.SpanTracer` as ``spans`` and the fan-out
+becomes part of the flight-recorder trace: every cache miss runs
+through :func:`_run_cell_traced` (in the pool when ``jobs > 1``), its
+serialized child spans are merged under the parent ``executor.map``
 span in miss order with deterministically renumbered ids, and cache
 hits are recorded as events — so a ``--jobs 4`` trace reads exactly
 like the serial one.
@@ -36,8 +62,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..obs.instruments import NULL_INSTRUMENTS
 from ..obs.spans import NULL_TRACER, SpanTracer
@@ -46,7 +73,17 @@ from ..sim.metrics import SimulationSummary
 from ..sim.runner import run_simulation
 from ..sim.world import World
 
-__all__ = ["CellKey", "default_jobs", "map_cells", "map_configs", "sweep_grid"]
+__all__ = [
+    "CellKey",
+    "CellResult",
+    "GridJob",
+    "default_jobs",
+    "iter_configs",
+    "map_cells",
+    "map_configs",
+    "submit_grid",
+    "sweep_grid",
+]
 
 #: A sweep-cell coordinate: ``(scheduler, erp, seed)``.
 CellKey = Tuple[str, float, int]
@@ -58,16 +95,21 @@ def default_jobs() -> int:
     ``REPRO_JOBS`` wins; the older ``REPRO_PROCS`` (the seed-runner
     knob) is honored as a fallback so existing setups keep
     parallelizing; the default is 1 (serial) so library users opt in
-    explicitly.
+    explicitly.  Either variable may be ``auto``, which resolves to
+    ``os.cpu_count()``.
     """
     for var in ("REPRO_JOBS", "REPRO_PROCS"):
         value = os.environ.get(var, "").strip()
         if not value:
             continue
+        if value.lower() == "auto":
+            return max(1, os.cpu_count() or 1)
         try:
             n = int(value)
         except ValueError as exc:
-            raise ValueError(f"{var} must be an integer, got {value!r}") from exc
+            raise ValueError(
+                f"{var} must be an integer or 'auto', got {value!r}"
+            ) from exc
         if n < 1:
             raise ValueError(f"{var} must be >= 1")
         return n
@@ -75,8 +117,21 @@ def default_jobs() -> int:
 
 
 def _pool_start_method() -> str:
-    """Prefer fork (cheap and REPL-friendly); fall back to spawn."""
-    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    """The multiprocessing start method for pool workers.
+
+    ``REPRO_START_METHOD`` (``fork`` / ``spawn`` / ``forkserver``)
+    forces one — the spawn path is exercised in CI this way — else
+    prefer fork (cheap and REPL-friendly) and fall back to spawn.
+    """
+    available = multiprocessing.get_all_start_methods()
+    value = os.environ.get("REPRO_START_METHOD", "").strip().lower()
+    if value:
+        if value not in available:
+            raise ValueError(
+                f"REPRO_START_METHOD must be one of {sorted(available)}, got {value!r}"
+            )
+        return value
+    return "fork" if "fork" in available else "spawn"
 
 
 def _run_cell_traced(
@@ -135,20 +190,112 @@ def _run_cell_recorded(
     return summary, tracer.to_rows() if tracer is not None else None
 
 
+#: Miss-execution worker functions by task kind.  The warm pool
+#: resolves the same table by name inside its workers, so both
+#: backends run exactly the same code over the same payloads.
+_TASK_FNS = {
+    "run": run_simulation,
+    "traced": _run_cell_traced,
+    "recorded": _run_cell_recorded,
+}
+
+
+def _run_indexed(task: Tuple[int, str, Any]) -> Tuple[int, Any]:
+    """Pool worker for the streaming path: tag results with their
+    miss index so ``imap_unordered`` output can be re-keyed."""
+    index, kind, payload = task
+    return index, _TASK_FNS[kind](payload)
+
+
+def _warm_requested(warm: Optional[bool]) -> bool:
+    """Resolve the warm-pool opt-in: explicit argument, else
+    ``REPRO_WARM_POOL`` (off by default — nothing persists unless a
+    caller asks)."""
+    if warm is not None:
+        return bool(warm)
+    return os.environ.get("REPRO_WARM_POOL", "").strip().lower() in (
+        "1", "true", "yes", "on", "auto",
+    )
+
+
+def _resolve_store(store):
+    """The result store to consult: explicit argument, else
+    ``REPRO_STORE`` (``None`` when unset — no directory is created)."""
+    if store is not None:
+        return store
+    from .store import ResultStore
+
+    return ResultStore.from_env()
+
+
+def _execute(
+    kind: str,
+    payloads: Sequence[Any],
+    n_jobs: int,
+    warm: bool,
+    instruments,
+) -> List[Any]:
+    """Run miss payloads through the selected pool backend, in order.
+
+    Serial (``n_jobs == 1`` or a single payload) runs in-process;
+    otherwise a fresh cold pool per call, or the persistent warm pool
+    when opted in.  All three produce the same ordered result list.
+    """
+    if n_jobs == 1 or len(payloads) == 1:
+        fn = _TASK_FNS[kind]
+        return [fn(p) for p in payloads]
+    if warm:
+        from .pool import get_warm_pool
+
+        pool = get_warm_pool(n_jobs, start_method=_pool_start_method())
+        return pool.run(kind, payloads, instruments=instruments)
+    ctx = multiprocessing.get_context(_pool_start_method())
+    with ctx.Pool(min(n_jobs, len(payloads))) as pool:
+        return pool.map(_TASK_FNS[kind], payloads)
+
+
+def _lookup(config: SimulationConfig, store) -> Tuple[Optional[SimulationSummary], str]:
+    """Parent-side lookup chain: legacy cache, then result store."""
+    from .cache import cache_lookup
+
+    hit = cache_lookup(config)
+    if hit is not None:
+        return hit, "cache"
+    if store is not None:
+        hit = store.get(config)
+        if hit is not None:
+            return hit, "store"
+    return None, "run"
+
+
+def _store_fresh(config: SimulationConfig, summary: SimulationSummary, store) -> None:
+    """Persist a freshly computed cell into every enabled layer."""
+    from .cache import cache_store
+
+    cache_store(config, summary)
+    if store is not None:
+        store.put(config, summary)
+
+
 def map_configs(
     configs: Sequence[SimulationConfig],
     jobs: Optional[int] = None,
     instruments=None,
     spans=None,
     postmortem_dir: Optional[Union[str, Path]] = None,
+    warm: Optional[bool] = None,
+    store=None,
 ) -> List[SimulationSummary]:
     """Run every configuration, in order, through cache + process pool.
 
     The result list is aligned with ``configs`` regardless of the order
     workers finish in, so the output is bit-identical to running the
-    configurations serially.  Cache lookups and stores happen in the
-    parent process; only misses are executed (in the pool when
-    ``jobs > 1``).
+    configurations serially.  Cache and store lookups/stores happen in
+    the parent process; only misses are executed (in the pool when
+    ``jobs > 1`` — the persistent warm pool when ``warm`` is true or
+    ``REPRO_WARM_POOL=1``, else a fresh pool per call).  ``store``
+    is a :class:`repro.experiments.store.ResultStore` (default: the
+    one named by ``REPRO_STORE``, or none).
 
     With a ``spans`` tracer, each miss runs under a child tracer whose
     rows are absorbed under this call's ``executor.map`` span in miss
@@ -162,79 +309,196 @@ def map_configs(
     the span merge, so a crashing cell lands at the same path however
     the pool schedules it.
     """
-    from .cache import cache_lookup, cache_store
-
     obs = instruments if instruments is not None else NULL_INSTRUMENTS
     sp = spans if spans is not None else NULL_TRACER
     n_jobs = default_jobs() if jobs is None else int(jobs)
     if n_jobs < 1:
         raise ValueError("jobs must be >= 1")
+    use_warm = _warm_requested(warm)
+    store = _resolve_store(store)
 
     results: List[Optional[SimulationSummary]] = [None] * len(configs)
     misses: List[int] = []
+    store_hits = 0
     with obs.timer("executor.map"), sp.span(
         "executor.map", cells=len(configs), jobs=n_jobs
     ) as sweep_span:
         for i, cfg in enumerate(configs):
-            hit = cache_lookup(cfg)
+            hit, source = _lookup(cfg, store)
             if hit is not None:
                 results[i] = hit
+                store_hits += source == "store"
                 if sp.enabled:
                     sp.event(
-                        "executor.cache_hit",
+                        "executor.cache_hit" if source == "cache"
+                        else "executor.store_hit",
                         cell=i, scheduler=cfg.scheduler, erp=cfg.erp, seed=cfg.seed,
                     )
             else:
                 misses.append(i)
         obs.counter("executor.cells").inc(len(configs))
-        obs.counter("executor.cache_hits").inc(len(configs) - len(misses))
+        obs.counter("executor.cache_hits").inc(
+            len(configs) - len(misses) - store_hits
+        )
+        obs.counter("executor.store_hits").inc(store_hits)
         obs.counter("executor.cache_misses").inc(len(misses))
         sweep_span.set(cache_hits=len(configs) - len(misses))
         if misses:
-            todo = [configs[i] for i in misses]
             if postmortem_dir is not None:
                 root = Path(postmortem_dir)
-                tasks = [
+                kind = "recorded"
+                payloads: List[Any] = [
                     (configs[i], str(root / f"cell-{i:04d}"), sp.enabled)
                     for i in misses
                 ]
-                if n_jobs == 1 or len(tasks) == 1:
-                    guarded = [_run_cell_recorded(t) for t in tasks]
+            elif sp.enabled:
+                kind = "traced"
+                payloads = [configs[i] for i in misses]
+            else:
+                kind = "run"
+                payloads = [configs[i] for i in misses]
+            outputs = _execute(kind, payloads, n_jobs, use_warm, obs)
+            for i, out in zip(misses, outputs):
+                if kind == "run":
+                    summary = out
                 else:
-                    ctx = multiprocessing.get_context(_pool_start_method())
-                    with ctx.Pool(min(n_jobs, len(tasks))) as pool:
-                        guarded = pool.map(_run_cell_recorded, tasks)
-                fresh = []
-                for i, (summary, rows) in zip(misses, guarded):
+                    summary, rows = out
                     if sp.enabled and rows is not None:
                         sp.absorb(
                             rows, parent=sweep_span,
                             root_attrs={"cell": i, "cache": "miss"},
                         )
-                    fresh.append(summary)
-            elif sp.enabled:
-                if n_jobs == 1 or len(todo) == 1:
-                    traced = [_run_cell_traced(c) for c in todo]
-                else:
-                    ctx = multiprocessing.get_context(_pool_start_method())
-                    with ctx.Pool(min(n_jobs, len(todo))) as pool:
-                        traced = pool.map(_run_cell_traced, todo)
-                fresh = []
-                for i, (summary, rows) in zip(misses, traced):
-                    sp.absorb(
-                        rows, parent=sweep_span, root_attrs={"cell": i, "cache": "miss"}
-                    )
-                    fresh.append(summary)
-            elif n_jobs == 1 or len(todo) == 1:
-                fresh = [run_simulation(c) for c in todo]
-            else:
-                ctx = multiprocessing.get_context(_pool_start_method())
-                with ctx.Pool(min(n_jobs, len(todo))) as pool:
-                    fresh = pool.map(run_simulation, todo)
-            for i, summary in zip(misses, fresh):
-                cache_store(configs[i], summary)
+                _store_fresh(configs[i], summary, store)
                 results[i] = summary
     return results  # type: ignore[return-value]
+
+
+def iter_configs(
+    configs: Sequence[SimulationConfig],
+    jobs: Optional[int] = None,
+    warm: Optional[bool] = None,
+    store=None,
+    instruments=None,
+    postmortem_dir: Optional[Union[str, Path]] = None,
+) -> Iterator[Tuple[int, SimulationSummary, str]]:
+    """Stream per-cell results as they finish.
+
+    Yields ``(index, summary, source)`` where ``index`` points into
+    ``configs`` and ``source`` is ``"cache"``, ``"store"`` or
+    ``"run"``.  Cache/store hits are yielded first (in index order);
+    misses follow in *completion* order — callers that need the serial
+    sequence reassemble by index (:class:`GridJob` does).  Fresh
+    results are persisted to the enabled layers as they arrive, so a
+    second identical submission is all hits.
+
+    This is the streaming sibling of :func:`map_configs` (which should
+    be preferred when span tracing is needed — streaming runs are not
+    traced).  With ``postmortem_dir``, misses run with the flight
+    recorder armed, same bundle layout as :func:`map_configs`.
+    """
+    obs = instruments if instruments is not None else NULL_INSTRUMENTS
+    n_jobs = default_jobs() if jobs is None else int(jobs)
+    if n_jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    use_warm = _warm_requested(warm)
+    store = _resolve_store(store)
+
+    misses: List[int] = []
+    store_hits = 0
+    for i, cfg in enumerate(configs):
+        hit, source = _lookup(cfg, store)
+        if hit is not None:
+            store_hits += source == "store"
+            yield i, hit, source
+        else:
+            misses.append(i)
+    obs.counter("executor.cells").inc(len(configs))
+    obs.counter("executor.cache_hits").inc(len(configs) - len(misses) - store_hits)
+    obs.counter("executor.store_hits").inc(store_hits)
+    obs.counter("executor.cache_misses").inc(len(misses))
+    if not misses:
+        return
+    if postmortem_dir is not None:
+        root = Path(postmortem_dir)
+        kind = "recorded"
+        payloads: List[Any] = [
+            (configs[i], str(root / f"cell-{i:04d}"), False) for i in misses
+        ]
+    else:
+        kind = "run"
+        payloads = [configs[i] for i in misses]
+
+    def _finish(i: int, out: Any) -> Tuple[int, SimulationSummary, str]:
+        summary = out if kind == "run" else out[0]
+        _store_fresh(configs[i], summary, store)
+        return i, summary, "run"
+
+    if n_jobs == 1 or len(misses) == 1:
+        fn = _TASK_FNS[kind]
+        for i, payload in zip(misses, payloads):
+            yield _finish(i, fn(payload))
+    elif use_warm:
+        from .pool import get_warm_pool
+
+        pool = get_warm_pool(n_jobs, start_method=_pool_start_method())
+        for j, out in pool.run_iter(kind, payloads, instruments=obs):
+            yield _finish(misses[j], out)
+    else:
+        ctx = multiprocessing.get_context(_pool_start_method())
+        tasks = [(j, kind, p) for j, p in enumerate(payloads)]
+        with ctx.Pool(min(n_jobs, len(tasks))) as pool:
+            for j, out in pool.imap_unordered(_run_indexed, tasks):
+                yield _finish(misses[j], out)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One finished sweep cell, as streamed by :class:`GridJob`."""
+
+    index: int
+    key: CellKey
+    summary: SimulationSummary
+    source: str  # "cache" | "store" | "run"
+
+
+class GridJob:
+    """A submitted sweep grid with streaming per-cell results.
+
+    Iterate to receive :class:`CellResult` items *as cells finish*
+    (hits first, then misses in completion order); call
+    :meth:`results` for the grid-order reassembly — it drains any
+    unconsumed remainder, so the mapping is bit-identical to the
+    serial sweep no matter how much of the stream was observed.
+    ``sources`` tallies cells by origin once consumed.
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[CellKey],
+        stream: Iterator[Tuple[int, SimulationSummary, str]],
+    ) -> None:
+        self.keys: List[CellKey] = list(keys)
+        self.sources: Dict[str, int] = {}
+        self._stream = stream
+        self._cells: Dict[int, CellResult] = {}
+
+    def __iter__(self) -> Iterator[CellResult]:
+        for index, summary, source in self._stream:
+            cell = CellResult(index, self.keys[index], summary, source)
+            self._cells[index] = cell
+            self.sources[source] = self.sources.get(source, 0) + 1
+            yield cell
+
+    def results(self) -> Dict[CellKey, SimulationSummary]:
+        """All summaries keyed by cell, reassembled in grid order."""
+        for _ in self:  # drain whatever the caller has not consumed yet
+            pass
+        missing = [i for i in range(len(self.keys)) if i not in self._cells]
+        if missing:
+            raise RuntimeError(f"grid stream ended with cells missing: {missing}")
+        return {
+            self.keys[i]: self._cells[i].summary for i in range(len(self.keys))
+        }
 
 
 def sweep_grid(
@@ -252,6 +516,53 @@ def sweep_grid(
     ]
 
 
+def grid_configs(
+    scale,
+    schedulers: Sequence[str],
+    erps: Sequence[float],
+    **overrides,
+) -> Tuple[List[CellKey], List[SimulationConfig]]:
+    """The grid's keys plus the exact configurations the serial
+    :func:`repro.experiments.common.run_cell` loop would build."""
+    keys = sweep_grid(scale, schedulers, erps)
+    configs = [
+        scale.base_config(scheduler=sched, erp=erp, **overrides).with_overrides(
+            seed=seed
+        )
+        for sched, erp, seed in keys
+    ]
+    return keys, configs
+
+
+def submit_grid(
+    scale,
+    schedulers: Sequence[str],
+    erps: Sequence[float],
+    jobs: Optional[int] = None,
+    warm: Optional[bool] = None,
+    store=None,
+    instruments=None,
+    postmortem_dir: Optional[Union[str, Path]] = None,
+    **overrides,
+) -> GridJob:
+    """Submit a whole ERP x scheduler sweep grid for streaming execution.
+
+    Returns a :class:`GridJob`: iterate it for per-cell results as they
+    finish, or call ``results()`` for the grid-order mapping —
+    byte-identical to :func:`map_cells` for the same arguments.  This
+    is the in-process form of what ``repro submit`` does over the
+    service socket.
+    """
+    keys, configs = grid_configs(scale, schedulers, erps, **overrides)
+    return GridJob(
+        keys,
+        iter_configs(
+            configs, jobs=jobs, warm=warm, store=store,
+            instruments=instruments, postmortem_dir=postmortem_dir,
+        ),
+    )
+
+
 def map_cells(
     scale,
     schedulers: Sequence[str],
@@ -260,6 +571,8 @@ def map_cells(
     instruments=None,
     spans=None,
     postmortem_dir: Optional[Union[str, Path]] = None,
+    warm: Optional[bool] = None,
+    store=None,
     **overrides,
 ) -> Dict[CellKey, SimulationSummary]:
     """Execute a whole ERP x scheduler sweep grid, one run per key.
@@ -271,13 +584,9 @@ def map_cells(
     preserved internally so a downstream reassembly that walks
     ``sweep_grid`` order is bit-identical to the serial sweep.
     """
-    keys = sweep_grid(scale, schedulers, erps)
-    configs = [
-        scale.base_config(scheduler=sched, erp=erp, **overrides).with_overrides(seed=seed)
-        for sched, erp, seed in keys
-    ]
+    keys, configs = grid_configs(scale, schedulers, erps, **overrides)
     summaries = map_configs(
         configs, jobs=jobs, instruments=instruments, spans=spans,
-        postmortem_dir=postmortem_dir,
+        postmortem_dir=postmortem_dir, warm=warm, store=store,
     )
     return dict(zip(keys, summaries))

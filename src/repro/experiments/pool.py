@@ -1,0 +1,606 @@
+"""Persistent warm worker pool for sweep fan-out.
+
+The cold executor path builds a fresh ``multiprocessing.Pool`` per
+``map_configs`` call: every sweep pays interpreter start, numpy/scipy
+imports and simulator warm-up in each worker, then throws that state
+away.  :class:`WarmPool` keeps a fixed set of worker processes alive
+across calls, so repeated sweeps — the ERP grids behind every figure,
+and the thousands of rollouts a learned charging policy needs — pay
+those costs once per worker instead of once per sweep:
+
+* **warm reuse** — workers survive between ``run`` / ``run_iter``
+  calls; module-level caches (the scheduler ``DistanceCache``, kd-tree
+  identity caches, compiled regexes, ...) stay hot;
+* **health** — the parent dispatches tasks over a dedicated duplex
+  pipe per worker (one task outstanding each), so it always knows
+  which task a worker holds: a worker that dies mid-task is detected
+  (its process sentinel trips ``multiprocessing.connection.wait``),
+  respawned, and its task resubmitted (``pool.respawns``).  Per-worker
+  pipes mean no shared queue locks — a SIGKILLed worker can never
+  strand a lock another worker needs.  :meth:`ping` round-trips a
+  no-op task and :attr:`healthy` checks process liveness;
+* **idle reaping** — with ``idle_timeout_s`` set, a pool that has not
+  run anything for that long releases its workers on the next
+  :meth:`reap_if_idle` (the sweep service calls it between
+  connections); the next run transparently cold-starts;
+* **shared-memory shipping** — workers pack ``SimulationSummary``
+  results into a ``numpy`` vector written to a
+  ``multiprocessing.shared_memory`` segment and send only the segment
+  name over the queue; the parent copies the payload out and unlinks
+  the segment.  ``REPRO_SHM=0`` (or an unavailable module) falls back
+  to pickling through the queue — both paths are bit-identical because
+  float64 round-trips exactly.
+
+Determinism contract: the pool runs the *same* module-level worker
+functions as the cold pool over the same payloads and the parent
+reassembles by task index, so results are byte-identical to the serial
+executor whatever the scheduling — pool reuse amortizes cost, never
+state that could leak into a trajectory (workers only ever receive
+frozen configs and return summaries).
+
+Nothing here is imported by :mod:`repro.experiments.executor` unless a
+caller opts into ``warm=True`` / ``REPRO_WARM_POOL=1``: importing the
+executor spawns no processes and allocates no shared memory.
+
+Observability: ``run``/``run_iter`` accept an ``Instruments`` registry
+and record ``pool.warm_hits`` / ``pool.respawns`` / ``pool.shm_bytes``
+counters and the ``pool.queue_depth`` gauge; the same totals are kept
+in the pool's :attr:`stats` dict for instrument-free callers.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import pickle
+import time
+from collections import deque
+from multiprocessing import connection
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..obs.instruments import NULL_INSTRUMENTS
+
+__all__ = ["WarmPool", "get_warm_pool", "shm_available", "shutdown_warm_pool"]
+
+#: How long the parent blocks in ``connection.wait`` per poll
+#: (seconds).  Worker results and death sentinels wake it immediately;
+#: this only bounds the idle-loop tick.
+_POLL_S = 0.2
+
+
+def _shm_module():
+    """The ``multiprocessing.shared_memory`` module, or None."""
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - py38+ always has it
+        return None
+    return shared_memory
+
+
+def shm_available() -> bool:
+    """Whether shared-memory result shipping is enabled and supported.
+
+    ``REPRO_SHM=0`` disables it (pickle fallback); anything else uses
+    it when ``multiprocessing.shared_memory`` imports.
+    """
+    if os.environ.get("REPRO_SHM", "").strip() == "0":
+        return False
+    return _shm_module() is not None
+
+
+def _summary_fields() -> Tuple[str, ...]:
+    """The summary's field names in declaration order — the schema of
+    the packed float64 vector shipped through shared memory."""
+    import dataclasses
+
+    from ..sim.metrics import SimulationSummary
+
+    return tuple(f.name for f in dataclasses.fields(SimulationSummary))
+
+
+def _pack_summary(summary) -> "Any":
+    """A summary as a float64 vector (field order = declaration order).
+
+    float64 represents every summary value exactly (ints here are far
+    below 2**53), so packing/unpacking is bit-preserving.
+    """
+    import numpy as np
+
+    return np.array(
+        [float(getattr(summary, f)) for f in _summary_fields()], dtype=np.float64
+    )
+
+
+def _unpack_summary(values):
+    """Inverse of :func:`_pack_summary` (ints restored)."""
+    from .cache import summary_from_dict
+
+    return summary_from_dict(dict(zip(_summary_fields(), [float(v) for v in values])))
+
+
+def _untrack_shm(seg) -> None:
+    """Detach a worker-created segment from the worker's resource
+    tracker: its lifetime is owned by the *parent* (attach → copy →
+    unlink), and without this the creating process would try to unlink
+    it a second time at exit and log spurious leak warnings."""
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _ship(result: Any, use_shm: bool) -> Tuple[Any, ...]:
+    """Encode a task result for the result queue (worker side).
+
+    Summaries (bare, or the ``(summary, rows)`` tuples of the traced
+    and recorded workers) are packed into a float64 vector and written
+    to a shared-memory segment; everything else — and every payload
+    when shm is off — pickles through the queue.
+    """
+    from ..sim.metrics import SimulationSummary
+
+    if isinstance(result, SimulationSummary):
+        summary, rows, has_rows = result, None, False
+    elif (
+        isinstance(result, tuple)
+        and len(result) == 2
+        and isinstance(result[0], SimulationSummary)
+    ):
+        (summary, rows), has_rows = result, True
+    else:
+        return ("pickle", result)
+    values = _pack_summary(summary)
+    if use_shm:
+        shm = _shm_module()
+        if shm is not None:
+            try:
+                seg = shm.SharedMemory(create=True, size=values.nbytes)
+            except OSError:
+                seg = None  # no /dev/shm (or quota hit): fall back below
+            if seg is not None:
+                import numpy as np
+
+                view = np.ndarray(values.shape, dtype=values.dtype, buffer=seg.buf)
+                view[:] = values
+                del view  # release the exported buffer before close()
+                name = seg.name
+                _untrack_shm(seg)
+                seg.close()
+                return ("shm", name, values.nbytes, has_rows, rows)
+    return ("packed", values.tobytes(), has_rows, rows)
+
+
+def _unship(shipped: Tuple[Any, ...]) -> Tuple[Any, int]:
+    """Decode a shipped result (parent side); returns ``(result,
+    shm_bytes)`` where the byte count is nonzero only for segments."""
+    import numpy as np
+
+    tag = shipped[0]
+    if tag == "pickle":
+        return shipped[1], 0
+    if tag == "packed":
+        _, raw, has_rows, rows = shipped
+        summary = _unpack_summary(np.frombuffer(raw, dtype=np.float64))
+        return ((summary, rows) if has_rows else summary), 0
+    _, name, nbytes, has_rows, rows = shipped
+    seg = _shm_module().SharedMemory(name=name)
+    try:
+        view = np.ndarray((nbytes // 8,), dtype=np.float64, buffer=seg.buf)
+        values = view.copy()
+        del view
+    finally:
+        seg.close()
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            pass
+    summary = _unpack_summary(values)
+    return ((summary, rows) if has_rows else summary), nbytes
+
+
+def _discard(shipped: Tuple[Any, ...]) -> None:
+    """Release a shipped result that will never be consumed (stale
+    generation, or a duplicate after a respawn resubmission) — shm
+    segments must be unlinked or they leak until reboot."""
+    if shipped and shipped[0] == "shm":
+        try:
+            seg = _shm_module().SharedMemory(name=shipped[1])
+            seg.close()
+            seg.unlink()
+        except Exception:
+            pass
+
+
+def _resolve_task(kind: str):
+    """A task kind's worker function (resolved in the worker, so spawn
+    children import exactly what the task needs)."""
+    if kind == "ping":
+        return lambda payload: ("pong", os.getpid())
+    from . import executor
+
+    try:
+        return executor._TASK_FNS[kind]
+    except KeyError:
+        raise ValueError(f"unknown warm-pool task kind {kind!r}") from None
+
+
+def _worker_main(worker_id: int, conn, use_shm: bool) -> None:
+    """Warm worker loop: serve ``(gen, task_id, kind, payload)`` tasks
+    from the parent's pipe until EOF or the ``None`` sentinel arrives.
+
+    The heavy imports are hoisted to the top of the loop so each worker
+    pays interpreter/import warm-up exactly once, whatever the start
+    method; module-level caches accumulate across tasks.  The pipe is
+    private to this worker — a crash here can never strand a lock a
+    sibling needs, and ``conn.send`` writes synchronously, so a result
+    the parent sees is a result that really completed.
+    """
+    import numpy  # noqa: F401  (warm the import once per worker)
+
+    try:
+        import scipy  # noqa: F401
+    except ImportError:  # pragma: no cover - scipy is a hard dep in practice
+        pass
+    from ..sim import runner  # noqa: F401  (warm the simulator import graph)
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            break
+        if msg is None:
+            break
+        gen, task_id, kind, payload = msg
+        try:
+            result = _resolve_task(kind)(payload)
+        except BaseException as exc:  # ship the failure, keep the worker alive
+            try:
+                blob: Optional[bytes] = pickle.dumps(exc)
+            except Exception:
+                blob = None
+            reply = ("error", gen, task_id, blob, repr(exc))
+        else:
+            reply = ("done", gen, task_id, _ship(result, use_shm))
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent died
+            break
+    conn.close()
+
+
+def _rebuild_exc(blob: Optional[bytes], text: str) -> BaseException:
+    """The worker's exception, restored (or wrapped when unpicklable)."""
+    if blob is not None:
+        try:
+            exc = pickle.loads(blob)
+            if isinstance(exc, BaseException):
+                return exc
+        except Exception:
+            pass
+    return RuntimeError(f"warm-pool worker task failed: {text}")
+
+
+class _Worker:
+    """One warm worker: its process plus the parent end of its private
+    duplex pipe and the ``(task_id, kind, payload)`` it currently holds
+    (None when idle) — which is what makes crash resubmission exact."""
+
+    def __init__(self, ctx, wid: int, use_shm: bool) -> None:
+        self.wid = wid
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(wid, child_conn, use_shm),
+            daemon=True,
+            name=f"repro-warm-{wid}",
+        )
+        self.proc.start()
+        child_conn.close()  # the parent keeps only its own end
+        self.task: Optional[Tuple[int, str, Any]] = None
+
+    def dispatch(self, gen: int, task: Tuple[int, str, Any]) -> None:
+        task_id, kind, payload = task
+        self.conn.send((gen, task_id, kind, payload))
+        self.task = task
+
+    def discard(self) -> None:
+        """Drop the parent-side handles (the process itself is managed
+        by the caller: joined when dead, sentineled when live)."""
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class WarmPool:
+    """A persistent pool of warm worker processes (see module docs).
+
+    Use as a context manager or call :meth:`close` explicitly; module
+    users normally go through :func:`get_warm_pool`, which keeps one
+    process-wide instance alive and registers an ``atexit`` teardown.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        start_method: Optional[str] = None,
+        use_shm: Optional[bool] = None,
+        idle_timeout_s: Optional[float] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        from .executor import _pool_start_method
+
+        self.jobs = int(jobs)
+        self.start_method = start_method or _pool_start_method()
+        self.use_shm = shm_available() if use_shm is None else bool(use_shm)
+        self.idle_timeout_s = idle_timeout_s
+        self._ctx = multiprocessing.get_context(self.start_method)
+        self._workers: Dict[int, _Worker] = {}
+        self._next_worker_id = 0
+        self._generation = 0
+        self._last_used = time.monotonic()
+        self._closed = False
+        #: Lifetime totals, mirrored into instruments when provided.
+        self.stats: Dict[str, int] = {
+            "cold_starts": 0,
+            "warm_hits": 0,
+            "respawns": 0,
+            "reaps": 0,
+            "tasks": 0,
+            "shm_bytes": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------
+
+    def _spawn_worker(self) -> _Worker:
+        wid = self._next_worker_id
+        self._next_worker_id += 1
+        worker = _Worker(self._ctx, wid, self.use_shm)
+        self._workers[wid] = worker
+        return worker
+
+    @property
+    def healthy(self) -> bool:
+        """Whether every worker slot holds a live process."""
+        return (
+            not self._closed
+            and len(self._workers) == self.jobs
+            and all(w.proc.is_alive() for w in self._workers.values())
+        )
+
+    @property
+    def workers_alive(self) -> int:
+        """Live worker count (0 when reaped or not yet started)."""
+        return sum(w.proc.is_alive() for w in self._workers.values())
+
+    def ping(self, instruments=None) -> List[int]:
+        """Round-trip one no-op task per worker slot; returns the pids
+        that answered.  Verifies the dispatch/result plumbing end to
+        end (one task is outstanding per worker, so a full-strength
+        pool answers with one pid per slot)."""
+        pongs = self.run("ping", [None] * self.jobs, instruments=instruments)
+        return sorted({pid for _tag, pid in pongs})
+
+    def reap_if_idle(self, now: Optional[float] = None) -> bool:
+        """Release the workers if the pool has been idle longer than
+        ``idle_timeout_s``; the next run cold-starts transparently."""
+        if self.idle_timeout_s is None or not self._workers:
+            return False
+        if (time.monotonic() if now is None else now) - self._last_used < self.idle_timeout_s:
+            return False
+        self._stop_workers()
+        self.stats["reaps"] += 1
+        return True
+
+    def _stop_workers(self) -> None:
+        for worker in self._workers.values():
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):  # already dead
+                pass
+        deadline = time.monotonic() + 5.0
+        for worker in self._workers.values():
+            worker.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.proc.is_alive():  # pragma: no cover - stuck worker
+                worker.proc.terminate()
+                worker.proc.join(timeout=1.0)
+            worker.discard()
+        self._workers.clear()
+
+    def close(self) -> None:
+        """Stop every worker and release their pipes (idempotent)."""
+        if self._closed:
+            return
+        self._stop_workers()
+        self._closed = True
+
+    def __enter__(self) -> "WarmPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- execution ----------------------------------------------------
+
+    def run_iter(
+        self,
+        kind: str,
+        payloads: Sequence[Any],
+        instruments=None,
+    ) -> Iterator[Tuple[int, Any]]:
+        """Execute payloads on the pool, yielding ``(index, result)``
+        in *completion* order.
+
+        The parent keeps exactly one task outstanding per worker, so a
+        dead worker's in-flight task is known precisely: it is requeued
+        and the worker respawned (``pool.respawns``).  A task that
+        *raises* (as opposed to the worker dying) propagates the
+        worker's exception to the caller, and the pool stays usable —
+        results of abandoned same-run tasks are discarded by generation
+        on the next run.
+        """
+        if self._closed:
+            raise RuntimeError("warm pool is closed")
+        obs = NULL_INSTRUMENTS if instruments is None else instruments
+        payloads = list(payloads)
+        self._generation += 1
+        gen = self._generation
+        self.reap_if_idle()
+        for wid in [w for w, wk in self._workers.items() if not wk.proc.is_alive()]:
+            worker = self._workers.pop(wid)
+            worker.proc.join(timeout=0.1)
+            worker.discard()
+        if self._workers:
+            self.stats["warm_hits"] += 1
+            obs.counter("pool.warm_hits").inc()
+        else:
+            self.stats["cold_starts"] += 1
+        while len(self._workers) < self.jobs:
+            self._spawn_worker()
+        #: Tasks not yet dispatched; a dispatch buffered behind a stale
+        #: in-flight task just waits in that worker's pipe.
+        backlog = deque(
+            (task_id, kind, payload) for task_id, payload in enumerate(payloads)
+        )
+        remaining = len(payloads)
+        for worker in self._workers.values():
+            worker.task = None  # anything older belongs to a dead generation
+            if backlog:
+                worker.dispatch(gen, backlog.popleft())
+        self.stats["tasks"] += len(payloads)
+        depth = obs.gauge("pool.queue_depth")
+        depth.set(remaining)
+        try:
+            while remaining:
+                by_handle = {}
+                for worker in self._workers.values():
+                    by_handle[worker.conn] = worker
+                    by_handle[worker.proc.sentinel] = worker
+                ready = connection.wait(list(by_handle), timeout=_POLL_S)
+                seen = set()
+                for handle in ready:
+                    worker = by_handle[handle]
+                    if worker.wid in seen:  # conn and sentinel both tripped
+                        continue
+                    seen.add(worker.wid)
+                    # Results buffered before a crash are still readable:
+                    # drain the pipe first, replace only a silent corpse.
+                    if worker.conn.poll():
+                        try:
+                            msg = worker.conn.recv()
+                        except (EOFError, OSError):
+                            self._replace(worker, backlog, gen, obs)
+                            continue
+                        for item in self._consume(worker, msg, gen, backlog, obs):
+                            remaining -= 1
+                            depth.set(remaining)
+                            yield item
+                    elif not worker.proc.is_alive():
+                        self._replace(worker, backlog, gen, obs)
+        finally:
+            self._last_used = time.monotonic()
+
+    def _consume(
+        self, worker: _Worker, msg: Tuple[Any, ...], gen: int, backlog, obs
+    ) -> Iterator[Tuple[int, Any]]:
+        """Process one message off a worker's pipe; yields a completed
+        ``(task_id, result)`` when the message belongs to this run."""
+        tag, mgen = msg[0], msg[1]
+        if mgen != gen:  # abandoned task from an aborted earlier run
+            if tag == "done":
+                _discard(msg[3])
+            return
+        if tag == "done":
+            _, _, task_id, shipped = msg
+            worker.task = None
+            if backlog:
+                worker.dispatch(gen, backlog.popleft())
+            result, shm_bytes = _unship(shipped)
+            if shm_bytes:
+                self.stats["shm_bytes"] += shm_bytes
+                obs.counter("pool.shm_bytes").inc(shm_bytes)
+            yield task_id, result
+        else:  # "error"
+            _, _, task_id, blob, text = msg
+            worker.task = None
+            raise _rebuild_exc(blob, text)
+
+    def _replace(self, worker: _Worker, backlog, gen: int, obs) -> None:
+        """Respawn a crashed worker; its in-flight task goes back to
+        the front of the backlog and is redispatched immediately."""
+        self._workers.pop(worker.wid, None)
+        worker.proc.join(timeout=0.1)
+        lost = worker.task
+        worker.discard()
+        replacement = self._spawn_worker()
+        self.stats["respawns"] += 1
+        obs.counter("pool.respawns").inc()
+        if lost is not None:
+            backlog.appendleft(lost)
+        if backlog:
+            replacement.dispatch(gen, backlog.popleft())
+
+    def run(
+        self,
+        kind: str,
+        payloads: Sequence[Any],
+        instruments=None,
+    ) -> List[Any]:
+        """Execute payloads and return results in payload order —
+        drop-in for ``multiprocessing.Pool.map`` over the same worker
+        function."""
+        payloads = list(payloads)
+        out: List[Any] = [None] * len(payloads)
+        for index, result in self.run_iter(kind, payloads, instruments=instruments):
+            out[index] = result
+        return out
+
+
+_default_pool: Optional[WarmPool] = None
+_atexit_registered = False
+
+
+def get_warm_pool(
+    jobs: int,
+    start_method: Optional[str] = None,
+    idle_timeout_s: Optional[float] = None,
+) -> WarmPool:
+    """The process-wide shared warm pool, created (or re-sized) on
+    demand.
+
+    Reuses the existing pool when ``jobs`` and the start method match;
+    a different shape closes the old pool and starts fresh.  The first
+    call registers an ``atexit`` teardown, so library users never leak
+    worker processes.
+    """
+    global _default_pool, _atexit_registered
+    from .executor import _pool_start_method
+
+    method = start_method or _pool_start_method()
+    pool = _default_pool
+    if (
+        pool is not None
+        and not pool._closed
+        and pool.jobs == jobs
+        and pool.start_method == method
+    ):
+        return pool
+    if pool is not None:
+        pool.close()
+    _default_pool = WarmPool(jobs, start_method=method, idle_timeout_s=idle_timeout_s)
+    if not _atexit_registered:
+        atexit.register(shutdown_warm_pool)
+        _atexit_registered = True
+    return _default_pool
+
+
+def shutdown_warm_pool() -> None:
+    """Close the shared warm pool, if one exists (idempotent)."""
+    global _default_pool
+    if _default_pool is not None:
+        _default_pool.close()
+        _default_pool = None

@@ -42,6 +42,10 @@ MODULES = [
     "repro.energy.battery",
     "repro.energy.consumption",
     "repro.energy.recharge",
+    "repro.experiments.executor",
+    "repro.experiments.pool",
+    "repro.experiments.service",
+    "repro.experiments.store",
     "repro.geometry.coverage",
     "repro.geometry.field",
     "repro.geometry.points",

@@ -62,6 +62,17 @@ def test_default_jobs_env(monkeypatch):
     assert default_jobs() == 3
 
 
+@pytest.mark.parametrize("var", ["REPRO_JOBS", "REPRO_PROCS"])
+@pytest.mark.parametrize("spelling", ["auto", "AUTO", " Auto "])
+def test_default_jobs_auto_resolves_to_cpu_count(monkeypatch, var, spelling):
+    import os
+
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_PROCS", raising=False)
+    monkeypatch.setenv(var, spelling)
+    assert default_jobs() == max(1, os.cpu_count() or 1)
+
+
 @pytest.mark.parametrize("bad", ["0", "-1", "two"])
 def test_default_jobs_rejects_bad_values(monkeypatch, bad):
     monkeypatch.setenv("REPRO_JOBS", bad)
@@ -72,6 +83,50 @@ def test_default_jobs_rejects_bad_values(monkeypatch, bad):
 def test_jobs_argument_validated():
     with pytest.raises(ValueError):
         map_configs([], jobs=0)
+
+
+def test_spawn_start_method_byte_identical(monkeypatch):
+    """The executor must stay deterministic under ``spawn`` — workers
+    that re-import everything from scratch produce the same bytes as
+    the in-process serial loop."""
+    import multiprocessing
+
+    if "spawn" not in multiprocessing.get_all_start_methods():  # pragma: no cover
+        pytest.skip("spawn start method unavailable")
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    serial = map_cells(TINY, ("greedy",), (0.0,), jobs=1)
+    monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+    spawned = map_cells(TINY, ("greedy",), (0.0,), jobs=2)
+    assert json.dumps(
+        {"|".join(map(str, k)): v.as_dict() for k, v in spawned.items()},
+        sort_keys=True,
+    ) == json.dumps(
+        {"|".join(map(str, k)): v.as_dict() for k, v in serial.items()},
+        sort_keys=True,
+    )
+
+
+def test_invalid_start_method_rejected(monkeypatch):
+    from repro.experiments.executor import _pool_start_method
+
+    monkeypatch.setenv("REPRO_START_METHOD", "teleport")
+    with pytest.raises(ValueError, match="REPRO_START_METHOD"):
+        _pool_start_method()
+
+
+def test_warm_pool_env_opt_in(monkeypatch):
+    """``REPRO_WARM_POOL=1`` routes misses through the shared warm
+    pool without any argument changes."""
+    from repro.experiments.pool import get_warm_pool, shutdown_warm_pool
+
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.setenv("REPRO_WARM_POOL", "1")
+    try:
+        cells = map_cells(TINY, ("greedy",), (0.0,), jobs=2)
+        assert len(cells) == 2
+        assert get_warm_pool(2).stats["tasks"] >= 2  # the pool did the work
+    finally:
+        shutdown_warm_pool()
 
 
 def test_executor_counters_and_cache(tmp_path, monkeypatch):

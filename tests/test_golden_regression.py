@@ -189,3 +189,32 @@ class TestGoldenExecutionMatrix:
                 f"{scheduler} drifted under jobs={jobs}, "
                 f"REPRO_VECTORIZE={vectorize}, REPRO_SOA={soa}: {mismatches}"
             )
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    @pytest.mark.parametrize("warm", [False, True])
+    def test_pool_backend_matrix_bit_identical(self, monkeypatch, jobs, warm):
+        """The warm persistent pool must reproduce the goldens exactly,
+        like the cold per-call pool and the serial loop — pool reuse
+        amortizes cost, never state."""
+        from repro.experiments.executor import map_configs
+        from repro.experiments.pool import shutdown_warm_pool
+
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        schedulers = ("greedy", "insertion")
+        configs = [
+            SimulationConfig(**{**GOLDEN_CONFIG, "scheduler": s}) for s in schedulers
+        ]
+        try:
+            results = map_configs(configs, jobs=jobs, warm=warm)
+        finally:
+            shutdown_warm_pool()
+        for scheduler, summary in zip(schedulers, results):
+            got = summary.as_dict()
+            expected = GOLDEN_SUMMARIES[scheduler]
+            mismatches = {
+                k: (got[k], expected[k]) for k in expected if got[k] != expected[k]
+            }
+            assert not mismatches, (
+                f"{scheduler} drifted under jobs={jobs}, warm={warm}: {mismatches}"
+            )
