@@ -116,6 +116,9 @@ def emit(name: str, table: str, extra: Optional[Dict[str, Any]] = None) -> None:
     ``extra``) to the file's ``"history"`` list, preserved across runs
     — so perf trends are machine-readable without scraping old CI logs,
     and ``repro drift BENCH_<name>.json`` can diff the last two rows.
+    The list is capped at ``REPRO_BENCH_HISTORY_MAX`` rows (default
+    200, newest kept), so long-lived checkouts don't grow the json
+    files without bound.
     """
     print("\n" + table)
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -133,7 +136,25 @@ def emit(name: str, table: str, extra: Optional[Dict[str, Any]] = None) -> None:
         payload["profile"] = _profile_payload()
     payload["history"] = _previous_history(json_path)
     payload["history"].append(_history_row(payload))
+    payload["history"] = payload["history"][-history_max():]
     json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def history_max() -> int:
+    """Cap on ``"history"`` rows per ``BENCH_*.json``
+    (``REPRO_BENCH_HISTORY_MAX``, default 200; oldest rows trimmed)."""
+    value = os.environ.get("REPRO_BENCH_HISTORY_MAX", "").strip()
+    if not value:
+        return 200
+    try:
+        n = int(value)
+    except ValueError as exc:
+        raise ValueError(
+            f"REPRO_BENCH_HISTORY_MAX must be an integer, got {value!r}"
+        ) from exc
+    if n < 1:
+        raise ValueError("REPRO_BENCH_HISTORY_MAX must be >= 1")
+    return n
 
 
 def _previous_history(json_path: pathlib.Path) -> List[Dict[str, Any]]:

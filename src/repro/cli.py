@@ -89,6 +89,16 @@ def _build_config(args: argparse.Namespace) -> SimulationConfig:
     return cfg.with_overrides(**overrides) if overrides else cfg
 
 
+def _apply_batch(args: argparse.Namespace) -> None:
+    """Publish ``--batch`` as ``REPRO_BATCH`` for the sim/experiment
+    layers (the executor groups compatible cells into shape-batches;
+    ``repro run --batch`` routes through the batched engine at B=1).
+    Both engines are bit-exact, so this only changes speed — and the
+    recorded engine provenance."""
+    if getattr(args, "batch", None) is not None:
+        os.environ["REPRO_BATCH"] = "1" if args.batch else "0"
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if getattr(args, "soa", None) is not None:
         # Publish the engine selection where SimulationState (and the
@@ -96,6 +106,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # are bit-exact, so this only changes speed — and which engine
         # the manifest records.
         os.environ["REPRO_SOA"] = "1" if args.soa else "0"
+    _apply_batch(args)
     cfg = _build_config(args)
     manifest = None
 
@@ -117,6 +128,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             from .sim.runner import run_recorded
 
             return run_recorded(cfg, args.postmortem, strict=args.strict_monitors)
+        from .sim.soa import batch_enabled
+
+        if batch_enabled():
+            # A single-cell batch: the batched kernels produce the run
+            # (bit-identical to run_simulation; REPRO_DEBUG_BATCH arms
+            # the serial shadow twin).
+            from .sim.runner import run_batch
+
+            return run_batch([cfg])[0]
         return run_simulation(cfg)
 
     from .obs import InvariantViolation
@@ -329,6 +349,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .utils.stats import mean_std
 
     _apply_jobs(args)
+    _apply_batch(args)
     base = _build_config(args)
     schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
     erps = [float(x) for x in args.erps.split(",") if x.strip()]
@@ -366,6 +387,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .experiments.service import SweepService
 
+    _apply_batch(args)
     try:
         service = SweepService(
             args.socket,
@@ -477,6 +499,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--soa", action=argparse.BooleanOptionalAction, default=None,
         help="select the structure-of-arrays tick engine (--no-soa runs "
              "the object-walking reference; default: REPRO_SOA, else on)",
+    )
+    p_run.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=None,
+        help="run through the batched multi-world engine (B=1 here; "
+             "bit-identical summary; default: REPRO_BATCH, else off)",
     )
     p_run.add_argument(
         "--postmortem", metavar="DIR",
@@ -601,6 +628,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep cells "
              "(N or 'auto'; default: REPRO_JOBS, else 1)",
     )
+    p_sweep.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=None,
+        help="group compatible cells into lockstep shape-batches "
+             "(bit-identical per cell; default: REPRO_BATCH, else off)",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_serve = sub.add_parser(
@@ -624,6 +656,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--idle-timeout", type=float, metavar="S",
         help="release warm-pool workers after S idle seconds "
              "(default: keep them until shutdown)",
+    )
+    p_serve.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=None,
+        help="execute submitted grids as lockstep shape-batches "
+             "(bit-identical per cell; cells report source 'batch'; "
+             "default: REPRO_BATCH, else off)",
     )
     p_serve.add_argument(
         "--postmortem", metavar="DIR",

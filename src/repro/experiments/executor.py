@@ -45,6 +45,18 @@ sweep grid into a :class:`GridJob` whose ``results()`` reassembles
 grid order at the end — the primitive behind ``repro serve`` /
 ``repro submit`` (:mod:`repro.experiments.service`).
 
+Batching: with ``REPRO_BATCH=1``, plain (untraced, unrecorded) cache
+misses are grouped by :func:`repro.sim.batch.shape_signature` —
+identical configurations up to seed / scheduler / erp / horizon — and
+each group is chunked into shape-batches of at most ``REPRO_BATCH_SIZE``
+cells (default 16), each submitted as **one** pool payload that runs
+through :func:`repro.sim.runner.run_batch` (the lockstep batched
+engine).  Per-cell summaries are bit-identical to the serial path, grid
+order is reassembled exactly as before, every cell is stored
+individually (``source="batch"`` provenance in the result store), and
+the pool's ``tasks`` / ``warm_hits`` stats are weighted so a k-cell
+batch counts k cells, not one payload.
+
 Observability: pass an :class:`repro.obs.Instruments` registry to
 record ``executor.cells`` / ``executor.cache_hits`` /
 ``executor.store_hits`` / ``executor.cache_misses`` counters and the
@@ -77,6 +89,7 @@ __all__ = [
     "CellKey",
     "CellResult",
     "GridJob",
+    "default_batch_size",
     "default_jobs",
     "iter_configs",
     "map_cells",
@@ -114,6 +127,60 @@ def default_jobs() -> int:
             raise ValueError(f"{var} must be >= 1")
         return n
     return 1
+
+
+def default_batch_size() -> int:
+    """Cells per shape-batch payload when ``REPRO_BATCH=1``.
+
+    ``REPRO_BATCH_SIZE`` overrides the default of 16 — small enough
+    that a multi-worker pool still load-balances, large enough to
+    amortize the per-tick Python dispatch across the batch.
+    """
+    value = os.environ.get("REPRO_BATCH_SIZE", "").strip()
+    if not value:
+        return 16
+    try:
+        n = int(value)
+    except ValueError as exc:
+        raise ValueError(
+            f"REPRO_BATCH_SIZE must be an integer, got {value!r}"
+        ) from exc
+    if n < 1:
+        raise ValueError("REPRO_BATCH_SIZE must be >= 1")
+    return n
+
+
+def _batch_requested() -> bool:
+    """Whether the executor should submit shape-batches
+    (``REPRO_BATCH=1``; see :mod:`repro.sim.batch`)."""
+    from ..sim.soa import batch_enabled
+
+    return batch_enabled()
+
+
+def _batch_payloads(
+    configs: Sequence[SimulationConfig], misses: Sequence[int]
+) -> Tuple[List[List[int]], List[Tuple[SimulationConfig, ...]]]:
+    """Group cache-miss cells into shape-batch payloads.
+
+    Misses are grouped by :func:`repro.sim.batch.shape_signature`
+    (preserving miss order within a group — the batched engine returns
+    summaries in input order) and chunked to ``REPRO_BATCH_SIZE``.
+    Returns ``(chunks, payloads)`` where ``chunks[j]`` lists the
+    positions *within* ``misses`` that payload ``j`` covers.
+    """
+    from ..sim.batch import shape_signature
+
+    size = default_batch_size()
+    groups: Dict[str, List[int]] = {}
+    for j, i in enumerate(misses):
+        groups.setdefault(shape_signature(configs[i]), []).append(j)
+    chunks: List[List[int]] = []
+    for positions in groups.values():
+        for k in range(0, len(positions), size):
+            chunks.append(positions[k : k + size])
+    payloads = [tuple(configs[misses[j]] for j in chunk) for chunk in chunks]
+    return chunks, payloads
 
 
 def _pool_start_method() -> str:
@@ -190,6 +257,21 @@ def _run_cell_recorded(
     return summary, tracer.to_rows() if tracer is not None else None
 
 
+def _run_cell_batch(
+    configs: Sequence[SimulationConfig],
+) -> List[SimulationSummary]:
+    """Pool worker: run one shape-batch of cells through the lockstep
+    batched engine (:func:`repro.sim.runner.run_batch`).
+
+    Summaries come back in payload order, each bit-identical to its
+    serial :func:`run_simulation` counterpart; cells the batched
+    kernels cannot represent fall back serially inside ``run_batch``.
+    """
+    from ..sim.runner import run_batch
+
+    return run_batch(list(configs))
+
+
 #: Miss-execution worker functions by task kind.  The warm pool
 #: resolves the same table by name inside its workers, so both
 #: backends run exactly the same code over the same payloads.
@@ -197,6 +279,7 @@ _TASK_FNS = {
     "run": run_simulation,
     "traced": _run_cell_traced,
     "recorded": _run_cell_recorded,
+    "batch": _run_cell_batch,
 }
 
 
@@ -234,12 +317,15 @@ def _execute(
     n_jobs: int,
     warm: bool,
     instruments,
+    weights: Optional[Sequence[int]] = None,
 ) -> List[Any]:
     """Run miss payloads through the selected pool backend, in order.
 
     Serial (``n_jobs == 1`` or a single payload) runs in-process;
     otherwise a fresh cold pool per call, or the persistent warm pool
     when opted in.  All three produce the same ordered result list.
+    ``weights`` (cells per payload) keeps the warm pool's ``tasks`` /
+    ``warm_hits`` stats counting cells when payloads are shape-batches.
     """
     if n_jobs == 1 or len(payloads) == 1:
         fn = _TASK_FNS[kind]
@@ -248,7 +334,7 @@ def _execute(
         from .pool import get_warm_pool
 
         pool = get_warm_pool(n_jobs, start_method=_pool_start_method())
-        return pool.run(kind, payloads, instruments=instruments)
+        return pool.run(kind, payloads, instruments=instruments, weights=weights)
     ctx = multiprocessing.get_context(_pool_start_method())
     with ctx.Pool(min(n_jobs, len(payloads))) as pool:
         return pool.map(_TASK_FNS[kind], payloads)
@@ -268,13 +354,20 @@ def _lookup(config: SimulationConfig, store) -> Tuple[Optional[SimulationSummary
     return None, "run"
 
 
-def _store_fresh(config: SimulationConfig, summary: SimulationSummary, store) -> None:
-    """Persist a freshly computed cell into every enabled layer."""
+def _store_fresh(
+    config: SimulationConfig,
+    summary: SimulationSummary,
+    store,
+    source: str = "run",
+) -> None:
+    """Persist a freshly computed cell into every enabled layer;
+    ``source`` records how the cell was produced (``"run"`` serial,
+    ``"batch"`` through the batched engine) in the store blob."""
     from .cache import cache_store
 
     cache_store(config, summary)
     if store is not None:
-        store.put(config, summary)
+        store.put(config, summary, source=source)
 
 
 def map_configs(
@@ -357,19 +450,34 @@ def map_configs(
             else:
                 kind = "run"
                 payloads = [configs[i] for i in misses]
-            outputs = _execute(kind, payloads, n_jobs, use_warm, obs)
-            for i, out in zip(misses, outputs):
-                if kind == "run":
-                    summary = out
-                else:
-                    summary, rows = out
-                    if sp.enabled and rows is not None:
-                        sp.absorb(
-                            rows, parent=sweep_span,
-                            root_attrs={"cell": i, "cache": "miss"},
-                        )
-                _store_fresh(configs[i], summary, store)
-                results[i] = summary
+            if kind == "run" and _batch_requested():
+                # Shape-batched execution: each payload is one chunk of
+                # signature-compatible cells run through the batched
+                # engine; summaries reassemble to the same grid slots.
+                chunks, batch_payloads = _batch_payloads(configs, misses)
+                outputs = _execute(
+                    "batch", batch_payloads, n_jobs, use_warm, obs,
+                    weights=[len(c) for c in chunks],
+                )
+                for chunk, summaries in zip(chunks, outputs):
+                    for j, summary in zip(chunk, summaries):
+                        i = misses[j]
+                        _store_fresh(configs[i], summary, store, source="batch")
+                        results[i] = summary
+            else:
+                outputs = _execute(kind, payloads, n_jobs, use_warm, obs)
+                for i, out in zip(misses, outputs):
+                    if kind == "run":
+                        summary = out
+                    else:
+                        summary, rows = out
+                        if sp.enabled and rows is not None:
+                            sp.absorb(
+                                rows, parent=sweep_span,
+                                root_attrs={"cell": i, "cache": "miss"},
+                            )
+                    _store_fresh(configs[i], summary, store)
+                    results[i] = summary
     return results  # type: ignore[return-value]
 
 
@@ -384,12 +492,15 @@ def iter_configs(
     """Stream per-cell results as they finish.
 
     Yields ``(index, summary, source)`` where ``index`` points into
-    ``configs`` and ``source`` is ``"cache"``, ``"store"`` or
-    ``"run"``.  Cache/store hits are yielded first (in index order);
-    misses follow in *completion* order — callers that need the serial
-    sequence reassemble by index (:class:`GridJob` does).  Fresh
-    results are persisted to the enabled layers as they arrive, so a
-    second identical submission is all hits.
+    ``configs`` and ``source`` is ``"cache"``, ``"store"``, ``"run"``
+    or ``"batch"`` (a fresh cell computed through the batched engine
+    under ``REPRO_BATCH=1``).  Cache/store hits are yielded first (in
+    index order); misses follow in *completion* order — callers that
+    need the serial sequence reassemble by index (:class:`GridJob`
+    does).  Shape-batched misses finish a chunk at a time and are
+    streamed per cell.  Fresh results are persisted to the enabled
+    layers as they arrive, so a second identical submission is all
+    hits.
 
     This is the streaming sibling of :func:`map_configs` (which should
     be preferred when span tracing is needed — streaming runs are not
@@ -418,37 +529,52 @@ def iter_configs(
     obs.counter("executor.cache_misses").inc(len(misses))
     if not misses:
         return
+    chunks: Optional[List[List[int]]] = None
+    weights: Optional[List[int]] = None
     if postmortem_dir is not None:
         root = Path(postmortem_dir)
         kind = "recorded"
         payloads: List[Any] = [
             (configs[i], str(root / f"cell-{i:04d}"), False) for i in misses
         ]
+    elif _batch_requested():
+        kind = "batch"
+        chunks, payloads = _batch_payloads(configs, misses)
+        weights = [len(c) for c in chunks]
     else:
         kind = "run"
         payloads = [configs[i] for i in misses]
 
-    def _finish(i: int, out: Any) -> Tuple[int, SimulationSummary, str]:
-        summary = out if kind == "run" else out[0]
-        _store_fresh(configs[i], summary, store)
-        return i, summary, "run"
+    def _finish(i: int, summary: SimulationSummary, source: str):
+        _store_fresh(configs[i], summary, store, source=source)
+        return i, summary, source
 
-    if n_jobs == 1 or len(misses) == 1:
+    def _emit(j: int, out: Any) -> Iterator[Tuple[int, SimulationSummary, str]]:
+        """Per-cell results of payload ``j`` — one for plain kinds, the
+        whole chunk for a shape-batch."""
+        if kind == "batch":
+            assert chunks is not None
+            for jj, summary in zip(chunks[j], out):
+                yield _finish(misses[jj], summary, "batch")
+        else:
+            yield _finish(misses[j], out if kind == "run" else out[0], "run")
+
+    if n_jobs == 1 or len(payloads) == 1:
         fn = _TASK_FNS[kind]
-        for i, payload in zip(misses, payloads):
-            yield _finish(i, fn(payload))
+        for j, payload in enumerate(payloads):
+            yield from _emit(j, fn(payload))
     elif use_warm:
         from .pool import get_warm_pool
 
         pool = get_warm_pool(n_jobs, start_method=_pool_start_method())
-        for j, out in pool.run_iter(kind, payloads, instruments=obs):
-            yield _finish(misses[j], out)
+        for j, out in pool.run_iter(kind, payloads, instruments=obs, weights=weights):
+            yield from _emit(j, out)
     else:
         ctx = multiprocessing.get_context(_pool_start_method())
         tasks = [(j, kind, p) for j, p in enumerate(payloads)]
         with ctx.Pool(min(n_jobs, len(tasks))) as pool:
             for j, out in pool.imap_unordered(_run_indexed, tasks):
-                yield _finish(misses[j], out)
+                yield from _emit(j, out)
 
 
 @dataclass(frozen=True)
@@ -458,7 +584,7 @@ class CellResult:
     index: int
     key: CellKey
     summary: SimulationSummary
-    source: str  # "cache" | "store" | "run"
+    source: str  # "cache" | "store" | "run" | "batch"
 
 
 class GridJob:

@@ -431,6 +431,7 @@ class WarmPool:
         kind: str,
         payloads: Sequence[Any],
         instruments=None,
+        weights: Optional[Sequence[int]] = None,
     ) -> Iterator[Tuple[int, Any]]:
         """Execute payloads on the pool, yielding ``(index, result)``
         in *completion* order.
@@ -442,11 +443,19 @@ class WarmPool:
         worker's exception to the caller, and the pool stays usable —
         results of abandoned same-run tasks are discarded by generation
         on the next run.
+
+        ``weights`` gives the number of *cells* each payload stands for
+        (shape-batched executor payloads cover several sweep cells), so
+        the ``tasks`` and ``warm_hits`` stats keep counting cells: a
+        k-cell batch counts k, not 1.  Without weights the historical
+        accounting holds — one task per payload, one warm hit per run.
         """
         if self._closed:
             raise RuntimeError("warm pool is closed")
         obs = NULL_INSTRUMENTS if instruments is None else instruments
         payloads = list(payloads)
+        if weights is not None and len(weights) != len(payloads):
+            raise ValueError("weights must align with payloads")
         self._generation += 1
         gen = self._generation
         self.reap_if_idle()
@@ -455,8 +464,9 @@ class WarmPool:
             worker.proc.join(timeout=0.1)
             worker.discard()
         if self._workers:
-            self.stats["warm_hits"] += 1
-            obs.counter("pool.warm_hits").inc()
+            warm_inc = int(sum(weights)) if weights is not None else 1
+            self.stats["warm_hits"] += warm_inc
+            obs.counter("pool.warm_hits").inc(warm_inc)
         else:
             self.stats["cold_starts"] += 1
         while len(self._workers) < self.jobs:
@@ -471,7 +481,9 @@ class WarmPool:
             worker.task = None  # anything older belongs to a dead generation
             if backlog:
                 worker.dispatch(gen, backlog.popleft())
-        self.stats["tasks"] += len(payloads)
+        self.stats["tasks"] += (
+            int(sum(weights)) if weights is not None else len(payloads)
+        )
         depth = obs.gauge("pool.queue_depth")
         depth.set(remaining)
         try:
@@ -549,13 +561,16 @@ class WarmPool:
         kind: str,
         payloads: Sequence[Any],
         instruments=None,
+        weights: Optional[Sequence[int]] = None,
     ) -> List[Any]:
         """Execute payloads and return results in payload order —
         drop-in for ``multiprocessing.Pool.map`` over the same worker
         function."""
         payloads = list(payloads)
         out: List[Any] = [None] * len(payloads)
-        for index, result in self.run_iter(kind, payloads, instruments=instruments):
+        for index, result in self.run_iter(
+            kind, payloads, instruments=instruments, weights=weights
+        ):
             out[index] = result
         return out
 

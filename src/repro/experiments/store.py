@@ -145,12 +145,16 @@ class ResultStore:
         config: SimulationConfig,
         summary: SimulationSummary,
         instruments=None,
+        source: Optional[str] = None,
     ) -> str:
         """Store a completed cell; returns its content address.
 
         Content addressing makes re-puts no-ops (``store.dedup``): the
         key pins config *and* code version, so an existing blob already
-        holds this exact payload.
+        holds this exact payload.  ``source`` records execution
+        provenance (``"run"`` serial, ``"batch"`` the batched engine)
+        in the blob — it is metadata only, outside the integrity hash,
+        which stays a function of the summary payload alone.
         """
         key = self.key_for(config)
         path = self._blob_path(key)
@@ -164,6 +168,8 @@ class ResultStore:
             "summary": summary_dict,
             "sha256": _payload_digest(summary_dict),
         }
+        if source is not None:
+            blob["source"] = source
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(blob, sort_keys=True))
         tmp.replace(path)  # atomic on POSIX: concurrent writers can't corrupt

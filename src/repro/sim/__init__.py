@@ -13,6 +13,7 @@ from .metrics import MetricsCollector, SimulationSummary
 from .runner import (
     average_summaries,
     make_scheduler,
+    run_batch,
     run_seeds,
     run_simulation,
     run_with_telemetry,
@@ -40,6 +41,7 @@ __all__ = [
     "World",
     "average_summaries",
     "make_scheduler",
+    "run_batch",
     "run_seeds",
     "run_simulation",
     "run_with_telemetry",

@@ -210,16 +210,26 @@ class EnergyAccounting:
             rates += leak_w
             leak_total = float(leak_w.sum())
         rates[~alive] = 0.0
-        self.rates = rates
-        self.active = active
-        self._through_cnt = cnt
-        self._origins = origins
-        self._alive_prev = alive
-        self._relay_w = relay_w
-        self._primed = True
         if self.soa:
-            self.s.arrays.rates_w = rates
-            self.s.arrays.active = active
+            # Batched-engine contract: under the SoA engine these
+            # buffers may be bound as row views into a (B, n) stack
+            # (see repro.sim.batch), so refresh them in place instead
+            # of rebinding to the fresh arrays — values are identical.
+            self.active[...] = active
+            self._through_cnt[...] = cnt
+            self._origins[...] = origins
+            self._alive_prev[...] = alive
+            self._relay_w[...] = relay_w
+            self.s.arrays.rates_w = self.rates
+            self.s.arrays.active = self.active
+        else:
+            self.rates = rates
+            self.active = active
+            self._through_cnt = cnt
+            self._origins = origins
+            self._alive_prev = alive
+            self._relay_w = relay_w
+        self._primed = True
         self._category_watts = {
             "idle": float(np.count_nonzero(alive)) * power.idle_power_w,
             "sensing": float(np.count_nonzero(active)) * power.active_sensing_power_w,
@@ -293,11 +303,17 @@ class EnergyAccounting:
             base_w = np.where(active[idx], duty_w, idle_w)
             self.rates[idx] = np.where(alive[idx], base_w + relay_w, 0.0)
             self._relay_w[idx] = relay_w
-        self.active = active
-        self._origins = origins
-        self._alive_prev = alive
         if self.soa:
-            self.s.arrays.active = active
+            # Same in-place refresh as the full pass: row-view bindings
+            # into a batched stack must survive every recompute.
+            self.active[...] = active
+            self._origins[...] = origins
+            self._alive_prev[...] = alive
+            self.s.arrays.active = self.active
+        else:
+            self.active = active
+            self._origins = origins
+            self._alive_prev = alive
         self._category_watts = {
             "idle": float(np.count_nonzero(alive)) * power.idle_power_w,
             "sensing": float(np.count_nonzero(active)) * power.active_sensing_power_w,

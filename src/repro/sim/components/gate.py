@@ -113,6 +113,18 @@ class RequestGate:
                 s.monitors.check_erc_release(
                     s.cluster_set, below, s.requested, to_release, self.erc.erp, s.now
                 )
+        return self._release(to_release)
+
+    def _release(self, to_release) -> bool:
+        """Put ``to_release`` onto the backlog and update all request
+        bookkeeping; returns True if anything was released.
+
+        Factored out of :meth:`_check` so the batched engine
+        (:mod:`repro.sim.batch`), which computes the release sets for a
+        whole batch of worlds with one scan, reuses exactly the serial
+        release path per world.
+        """
+        s = self.s
         for node in to_release:
             s.requests.add(
                 RechargeRequest(

@@ -1,0 +1,175 @@
+"""A gym-style facade over the batched engine.
+
+:class:`BatchedEnv` exposes a batch of lockstep worlds through the
+``reset() / step(actions)`` interface that reinforcement-learning
+loops and learned activity-management policies expect: observations
+come back as stacked ``(B, ...)`` arrays straight off the
+:class:`~repro.sim.batch.BatchedStateArrays` stacks, actions override
+the per-cluster rotation pointers before each tick, rewards are the
+per-world target-coverage of the tick just simulated, and per-world
+``dones`` go True as horizons pass (shorter-horizon worlds finish
+early while the rest keep stepping — the engine compacts underneath).
+
+With ``actions=None`` every step the trajectory is the round-robin
+policy of the paper, bit-identical per world to ``run_simulation``;
+supplying actions *changes the trajectory by design* and therefore
+cannot be combined with the ``REPRO_DEBUG_BATCH`` serial shadow.
+
+Per-world RNG streams (``env.rngs``, seeded ``PCG64`` spawns) are for
+the policy side — :meth:`BatchedEnv.sample_actions` draws uniformly
+random pointers from them; the engine itself never consumes
+randomness after construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .batch import BatchedEngine
+from .config import SimulationConfig
+from .metrics import SimulationSummary
+
+__all__ = ["BatchedEnv"]
+
+
+class BatchedEnv:
+    """Batch of WRSN worlds behind ``reset() / step(actions)``.
+
+    Args:
+        configs: one configuration per world; all must share a shape
+            signature (see :func:`~repro.sim.batch.shape_signature`).
+        debug: arm the serial shadow twin (``None`` consults
+            ``REPRO_DEBUG_BATCH``).  Only valid for action-free runs.
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[SimulationConfig],
+        debug: Optional[bool] = None,
+    ) -> None:
+        self.configs = list(configs)
+        if not self.configs:
+            raise ValueError("BatchedEnv needs at least one config")
+        self._debug = debug
+        self._engine: Optional[BatchedEngine] = None
+        self._running = False
+
+    # -- gym surface ----------------------------------------------------
+
+    def reset(self) -> Dict[str, np.ndarray]:
+        """(Re)build the batch at t=0 and return the initial observation."""
+        self._engine = BatchedEngine(self.configs, debug=self._debug)
+        self._running = True
+        return self._observe()
+
+    def step(self, actions: Optional[np.ndarray] = None):
+        """Advance every live world by one tick.
+
+        Args:
+            actions: optional ``(B, m)`` integer array of rotation-
+                pointer overrides, indexed over the *original* batch; an
+                entry ``>= 0`` points cluster ``c`` of world ``b`` at
+                member slot ``actions[b, c] % size``, ``-1`` leaves the
+                round-robin pointer alone.  Ignored for finished worlds.
+
+        Returns:
+            ``(obs, rewards, dones, info)`` — stacked observation dict,
+            per-world coverage of the tick just simulated (the final
+            time-averaged coverage for worlds that finished during this
+            step), per-world done flags, and an info dict carrying
+            ``t`` and the finished worlds' ``summaries``.
+        """
+        engine = self._require_engine()
+        if not self._running:
+            raise RuntimeError("step() after every world finished; call reset()")
+        if actions is not None:
+            self._apply_actions(np.asarray(actions))
+        was_live = set(engine._orig)
+        self._running = engine.step()
+        rewards = np.zeros(len(self.configs), dtype=np.float64)
+        for b, w in enumerate(engine.worlds):
+            rewards[engine._orig[b]] = w.state.metrics._last_coverage
+        for i, summary in enumerate(engine.summaries):
+            if summary is not None and i in was_live and i not in engine._orig:
+                rewards[i] = summary.avg_coverage_ratio
+        dones = ~engine.alive_worlds
+        info = {
+            "t": engine._t,
+            "summaries": list(engine.summaries),
+        }
+        return self._observe(), rewards, dones, info
+
+    # -- helpers --------------------------------------------------------
+
+    @property
+    def rngs(self) -> List[np.random.Generator]:
+        """Per-world policy RNG streams (live worlds, batch order)."""
+        return self._require_engine().stacks.rngs
+
+    @property
+    def summaries(self) -> List[Optional[SimulationSummary]]:
+        """Final summaries, input order; ``None`` until a world finishes."""
+        return list(self._require_engine().summaries)
+
+    def sample_actions(self) -> np.ndarray:
+        """Uniformly random pointer overrides from the per-world RNG
+        streams — ``(B, m)`` over the original batch, ``-1`` for
+        finished worlds' rows."""
+        engine = self._require_engine()
+        st = engine.stacks
+        out = np.full((len(self.configs), st.m), -1, dtype=np.int64)
+        for b, rng in enumerate(st.rngs):
+            sizes = np.maximum(st.sizes[b], 1)
+            out[engine._orig[b]] = rng.integers(0, sizes)
+        return out
+
+    def _apply_actions(self, actions: np.ndarray) -> None:
+        engine = self._require_engine()
+        if engine.debug:
+            raise ValueError(
+                "actions change the trajectory and cannot run under the "
+                "REPRO_DEBUG_BATCH serial shadow"
+            )
+        st = engine.stacks
+        if actions.shape != (len(self.configs), st.m):
+            raise ValueError(
+                f"actions must have shape {(len(self.configs), st.m)}, "
+                f"got {actions.shape}"
+            )
+        rows = actions[engine._orig].astype(np.int64)
+        override = rows >= 0
+        sizes = np.maximum(st.sizes, 1)
+        np.copyto(st.ptr, rows % sizes, where=override)
+
+    def _observe(self) -> Dict[str, np.ndarray]:
+        """Stacked observation over the *original* batch; finished
+        worlds' rows hold zeros (levels/flags) and -1 (membership)."""
+        engine = self._require_engine()
+        st = engine.stacks
+        B0, n, m = len(self.configs), st.n, st.m
+        obs = {
+            "t": np.full(B0, engine._t, dtype=np.float64),
+            "levels_j": np.zeros((B0, n), dtype=np.float64),
+            "alive": np.zeros((B0, n), dtype=bool),
+            "requested": np.zeros((B0, n), dtype=bool),
+            "active": np.zeros((B0, n), dtype=bool),
+            "membership": np.full((B0, n), -1, dtype=np.int64),
+            "ptr": np.full((B0, m), -1, dtype=np.int64),
+            "cluster_sizes": np.zeros((B0, m), dtype=np.int64),
+        }
+        orig = engine._orig
+        obs["levels_j"][orig] = st.levels_j
+        obs["alive"][orig] = st.levels_j > 0.0
+        obs["requested"][orig] = st.requested
+        obs["active"][orig] = st.active
+        obs["membership"][orig] = st.membership
+        obs["ptr"][orig] = st.ptr
+        obs["cluster_sizes"][orig] = st.sizes
+        return obs
+
+    def _require_engine(self) -> BatchedEngine:
+        if self._engine is None:
+            raise RuntimeError("call reset() before using the environment")
+        return self._engine

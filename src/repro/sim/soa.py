@@ -60,6 +60,8 @@ __all__ = [
     "StateArrays",
     "SoAFullTimeActivator",
     "SoARoundRobinActivator",
+    "batch_enabled",
+    "debug_batch",
     "debug_soa",
     "erc_release_scan",
     "first_alive_slots",
@@ -81,6 +83,18 @@ def debug_soa() -> bool:
     return os.environ.get("REPRO_DEBUG_SOA", "") not in ("", "0")
 
 
+def batch_enabled() -> bool:
+    """The ``REPRO_BATCH`` opt-in for the batched multi-world engine
+    (default: off — single-world runs keep the serial SoA loop)."""
+    return os.environ.get("REPRO_BATCH", "") not in ("", "0", "false", "no")
+
+
+def debug_batch() -> bool:
+    """``REPRO_DEBUG_BATCH=1``: shadow every batched world with a
+    serial twin and assert bit-equality after each batched tick."""
+    return os.environ.get("REPRO_DEBUG_BATCH", "") not in ("", "0")
+
+
 def engine_provenance() -> dict:
     """Which engine knobs are live — recorded in run manifests so a
     drift report can say which engine produced each run."""
@@ -92,6 +106,8 @@ def engine_provenance() -> dict:
         "vectorize": vectorize_enabled(),
         "incremental": os.environ.get("REPRO_INCREMENTAL", "1")
         not in ("0", "false", "no"),
+        "batch": batch_enabled(),
+        "batch_debug": debug_batch(),
     }
 
 

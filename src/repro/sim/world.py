@@ -67,6 +67,7 @@ class World:
         spans=None,
         monitors=None,
         blackbox=None,
+        external_tick: bool = False,
     ) -> None:
         self.cfg = config
         self.state = SimulationState.from_config(
@@ -85,7 +86,8 @@ class World:
         self._record_metrics()
 
         sim = self.state.sim
-        sim.schedule(config.tick_s, self._on_tick, priority=PRIO_TICK)
+        if not external_tick:
+            sim.schedule(config.tick_s, self._on_tick, priority=PRIO_TICK)
         sim.schedule(config.target_period_s, self._on_relocate, priority=PRIO_RELOCATE)
         sim.schedule(config.dispatch_period_s, self._on_dispatch_round, priority=PRIO_DISPATCH)
 

@@ -1,0 +1,457 @@
+"""The lockstep multi-world engine (repro.sim.batch) and its facades.
+
+Three layers of evidence that ``REPRO_BATCH=1`` is a pure speedup:
+
+* world-by-world parity — whole batches reproduce ``run_simulation``
+  summaries bit-for-bit, including mixed horizons (compaction), mixed
+  schedulers/ERPs inside one shape batch, and the hypothesis property
+  that random horizon/seed draws agree between B=1 and B=32;
+* facade equivalence — ``run_batch``, the executor's shape-batched
+  miss path and the gym-style :class:`BatchedEnv` all serialize to the
+  serial engine's bytes (and the env's *actions* deliberately don't);
+* attribution — shape-batches of k cells count k tasks in the pool
+  stats and stamp ``"batch"`` provenance on store blobs and streamed
+  cell results.
+"""
+
+import contextlib
+import json
+import os
+import pathlib
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.executor import (
+    _batch_payloads,
+    default_batch_size,
+    iter_configs,
+    map_configs,
+)
+from repro.experiments.pool import get_warm_pool, shm_available, shutdown_warm_pool
+from repro.experiments.store import ResultStore
+from repro.sim.batch import BatchedEngine, batchable_config, shape_signature
+from repro.sim.config import SimulationConfig
+from repro.sim.env import BatchedEnv
+from repro.sim.runner import run_batch, run_simulation
+from repro.sim.soa import batch_enabled, debug_batch, engine_provenance
+from repro.sim.world import World
+
+SMALL_CONFIG = dict(
+    n_sensors=30,
+    n_targets=5,
+    n_rvs=2,
+    side_length_m=60.0,
+    sim_time_s=4 * 3600.0,
+    tick_s=600.0,
+    dispatch_period_s=1800.0,
+    battery_capacity_j=250.0,
+    initial_charge_range=(0.5, 0.8),
+    seed=7,
+)
+
+
+def small(**overrides) -> SimulationConfig:
+    return SimulationConfig(**{**SMALL_CONFIG, **overrides})
+
+
+_KNOBS = (
+    "REPRO_SOA", "REPRO_DEBUG_SOA", "REPRO_BATCH", "REPRO_DEBUG_BATCH",
+    "REPRO_BATCH_SIZE", "REPRO_CACHE", "REPRO_STORE", "REPRO_WARM_POOL",
+    "REPRO_SHM", "REPRO_START_METHOD", "REPRO_JOBS", "REPRO_PROCS",
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    """Pin the engine knobs to their defaults for every test.
+
+    The explicit post-yield scrub matters: the CLI publishes
+    ``REPRO_BATCH`` by writing ``os.environ`` directly, which
+    ``monkeypatch.delenv(raising=False)`` on an initially-absent
+    variable would not undo.
+    """
+    for var in _KNOBS:
+        monkeypatch.delenv(var, raising=False)
+    shutdown_warm_pool()
+    yield
+    for var in _KNOBS:
+        os.environ.pop(var, None)
+    shutdown_warm_pool()
+
+
+@contextlib.contextmanager
+def batch_env(**env):
+    """Set env knobs for the block (hypothesis-safe: no fixture)."""
+    old = {k: os.environ.get(k) for k in env}
+    os.environ.update({k: v for k, v in env.items() if v is not None})
+    try:
+        yield
+    finally:
+        for k, v in old.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+
+
+class TestKnobs:
+    def test_default_off(self, monkeypatch):
+        assert not batch_enabled()
+        assert not debug_batch()
+
+    def test_opt_in(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        monkeypatch.setenv("REPRO_DEBUG_BATCH", "1")
+        assert batch_enabled()
+        assert debug_batch()
+
+    def test_engine_provenance_records_batch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        prov = engine_provenance()
+        assert prov["batch"] is True
+        assert prov["batch_debug"] is False
+
+    def test_default_batch_size(self, monkeypatch):
+        assert default_batch_size() == 16
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "3")
+        assert default_batch_size() == 3
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "four"])
+    def test_batch_size_rejects_bad_values(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_BATCH_SIZE", bad)
+        with pytest.raises(ValueError):
+            default_batch_size()
+
+
+class TestShapeSignature:
+    def test_signature_free_fields(self):
+        base = small()
+        for variant in (
+            small(seed=99),
+            small(scheduler="greedy"),
+            small(erp=0.8),
+            small(sim_time_s=2 * 3600.0),
+        ):
+            assert shape_signature(variant) == shape_signature(base)
+
+    def test_shape_fields_split_batches(self):
+        base = small()
+        assert shape_signature(small(n_sensors=31)) != shape_signature(base)
+        assert shape_signature(small(tick_s=300.0)) != shape_signature(base)
+        assert shape_signature(small(n_rvs=3)) != shape_signature(base)
+
+    def test_batchable_config_gates(self, monkeypatch):
+        assert batchable_config(small())
+        assert not batchable_config(small(self_discharge_fraction_per_day=0.01))
+        monkeypatch.setenv("REPRO_DEBUG_SOA", "1")
+        assert not batchable_config(small())
+
+
+class TestRunBatchParity:
+    def test_mixed_schedulers_and_seeds(self):
+        configs = [
+            small(seed=s, scheduler=sched, erp=erp)
+            for s in (7, 8)
+            for sched, erp in (("combined", 0.5), ("greedy", 0.2))
+        ]
+        batched = run_batch(configs)
+        serial = [run_simulation(c) for c in configs]
+        assert [b.as_dict() for b in batched] == [s.as_dict() for s in serial]
+
+    def test_mixed_horizons_compact(self):
+        configs = [
+            small(seed=10 + i, sim_time_s=h)
+            for i, h in enumerate((2 * 3600.0, 4 * 3600.0, 3 * 3600.0, 4 * 3600.0))
+        ]
+        batched = run_batch(configs)
+        serial = [run_simulation(c) for c in configs]
+        assert [b.as_dict() for b in batched] == [s.as_dict() for s in serial]
+
+    def test_non_batchable_falls_back_in_order(self):
+        configs = [
+            small(seed=1),
+            small(seed=2, self_discharge_fraction_per_day=0.02),
+            small(seed=3),
+        ]
+        batched = run_batch(configs)
+        serial = [run_simulation(c) for c in configs]
+        assert [b.as_dict() for b in batched] == [s.as_dict() for s in serial]
+
+    def test_debug_shadow_runs_clean(self):
+        configs = [small(seed=s) for s in (5, 6)]
+        shadowed = run_batch(configs, debug=True)
+        serial = [run_simulation(c) for c in configs]
+        assert [b.as_dict() for b in shadowed] == [s.as_dict() for s in serial]
+
+    def test_debug_env_knob_arms_shadow(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG_BATCH", "1")
+        engine = BatchedEngine([small(seed=5)])
+        assert engine.debug
+        (summary,) = engine.run()
+        assert summary.as_dict() == run_simulation(small(seed=5)).as_dict()
+
+
+class TestBatchedVsSingleProperty:
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_random_horizons_agree_world_by_world(self, data):
+        """B=32 lockstep == 32 independent B=1 engines, per world."""
+        draws = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=2**16),
+                    st.integers(min_value=2, max_value=8),  # ticks
+                ),
+                min_size=32,
+                max_size=32,
+            )
+        )
+        with batch_env(REPRO_SOA=None, REPRO_DEBUG_SOA=None):
+            configs = [
+                small(seed=seed, sim_time_s=ticks * SMALL_CONFIG["tick_s"])
+                for seed, ticks in draws
+            ]
+            wide = run_batch(configs)
+            narrow = [run_batch([c])[0] for c in configs]
+        assert [w.as_dict() for w in wide] == [n.as_dict() for n in narrow]
+
+
+class TestBatchedEnv:
+    def test_reset_observation_shapes(self):
+        env = BatchedEnv([small(seed=s) for s in (1, 2, 3)])
+        obs = env.reset()
+        n = SMALL_CONFIG["n_sensors"]
+        assert obs["levels_j"].shape == (3, n)
+        assert obs["alive"].all()
+        assert (obs["t"] == 0.0).all()
+        m = obs["ptr"].shape[1]
+        assert obs["cluster_sizes"].shape == (3, m)
+        # Clustered (target-covering) sensors carry a cluster id; the
+        # rest stay -1.
+        assert ((obs["membership"] >= 0).sum(axis=1) > 0).all()
+        assert (obs["membership"] < m).all()
+
+    def test_action_free_rollout_matches_serial(self):
+        configs = [small(seed=s) for s in (1, 2)]
+        env = BatchedEnv(configs)
+        env.reset()
+        done = np.zeros(2, dtype=bool)
+        for _ in range(200):
+            obs, rewards, done, info = env.step()
+            assert rewards.shape == (2,)
+            assert np.isfinite(rewards).all()
+            if done.all():
+                break
+        assert done.all()
+        serial = [run_simulation(c) for c in configs]
+        assert [s.as_dict() for s in env.summaries] == [
+            s.as_dict() for s in serial
+        ]
+
+    def test_mixed_horizons_pad_finished_rows(self):
+        configs = [small(seed=1, sim_time_s=2 * 3600.0), small(seed=2)]
+        env = BatchedEnv(configs)
+        env.reset()
+        obs, rewards, dones, info = env.step()
+        while not dones[0]:
+            obs, rewards, dones, info = env.step()
+        assert not dones[1]
+        assert env.summaries[0] is not None and env.summaries[1] is None
+        # The finishing step pays out the world's final summary metric.
+        assert (obs["levels_j"][0] == 0.0).all()
+        assert (obs["membership"][0] == -1).all()
+        assert (obs["levels_j"][1] > 0.0).any()
+
+    def test_final_reward_is_summary_coverage(self):
+        env = BatchedEnv([small(seed=1, sim_time_s=2 * 3600.0)])
+        env.reset()
+        dones = np.zeros(1, dtype=bool)
+        while not dones.all():
+            obs, rewards, dones, info = env.step()
+        assert rewards[0] == env.summaries[0].avg_coverage_ratio
+
+    def test_actions_change_the_trajectory(self):
+        configs = [small(seed=s) for s in (1, 2)]
+        free = BatchedEnv(configs)
+        free.reset()
+        steered = BatchedEnv(configs)
+        steered.reset()
+        for _ in range(200):
+            _, _, free_done, _ = free.step()
+            actions = steered.sample_actions()
+            _, _, steered_done, _ = steered.step(actions)
+            if free_done.all() and steered_done.all():
+                break
+        assert [s.as_dict() for s in free.summaries] != [
+            s.as_dict() for s in steered.summaries
+        ]
+
+    def test_sample_actions_in_range(self):
+        env = BatchedEnv([small(seed=s) for s in (1, 2)])
+        env.reset()
+        actions = env.sample_actions()
+        sizes = env._require_engine().stacks.sizes
+        assert actions.shape == (2, sizes.shape[1])
+        assert (actions >= 0).all()
+        assert (actions < np.maximum(sizes, 1)).all()
+
+    def test_bad_action_shape_rejected(self):
+        env = BatchedEnv([small(seed=1)])
+        env.reset()
+        with pytest.raises(ValueError, match="shape"):
+            env.step(np.zeros((2, 2), dtype=np.int64))
+
+    def test_actions_forbidden_under_debug_shadow(self):
+        env = BatchedEnv([small(seed=1)], debug=True)
+        env.reset()
+        with pytest.raises(ValueError, match="shadow"):
+            env.step(env.sample_actions())
+
+    def test_step_before_reset_raises(self):
+        env = BatchedEnv([small(seed=1)])
+        with pytest.raises(RuntimeError, match="reset"):
+            env.step()
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            BatchedEnv([])
+
+
+GRID = [
+    dict(seed=s, scheduler=sched, erp=erp)
+    for s in (7, 8)
+    for sched in ("combined", "greedy")
+    for erp in (0.3, 0.6)
+]
+
+
+class TestExecutorBatching:
+    def test_map_configs_byte_identical_to_serial(self, monkeypatch):
+        configs = [small(**cell) for cell in GRID]
+        serial = map_configs(configs, jobs=1)
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "3")
+        batched = map_configs(configs, jobs=1)
+        assert json.dumps([b.as_dict() for b in batched], sort_keys=True) == (
+            json.dumps([s.as_dict() for s in serial], sort_keys=True)
+        )
+
+    def test_store_blobs_carry_batch_provenance(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        store = ResultStore(tmp_path / "store")
+        configs = [small(seed=s) for s in (1, 2)]
+        map_configs(configs, jobs=1, store=store)
+        for cfg in configs:
+            blob = json.loads(
+                store._blob_path(store.key_for(cfg)).read_text()
+            )
+            assert blob["source"] == "batch"
+
+    def test_iter_configs_streams_batch_source(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        store = ResultStore(tmp_path / "store")
+        configs = [small(seed=s) for s in (1, 2, 3)]
+        rows = list(iter_configs(configs, jobs=1, store=store))
+        assert sorted(i for i, _, _ in rows) == [0, 1, 2]
+        assert {src for _, _, src in rows} == {"batch"}
+        again = list(iter_configs(configs, jobs=1, store=store))
+        assert {src for _, _, src in again} == {"store"}
+
+    def test_batch_payloads_group_and_chunk(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "2")
+        configs = [small(seed=s) for s in range(5)] + [small(seed=9, n_sensors=31)]
+        misses = list(range(len(configs)))
+        chunks, payloads = _batch_payloads(configs, misses)
+        assert sorted(len(c) for c in chunks) == [1, 1, 2, 2]
+        assert [len(c) for c in chunks] == [len(p) for p in payloads]
+        # Order within a shape group is preserved.
+        flat = [j for chunk in chunks for j in chunk]
+        assert sorted(flat) == misses
+        assert chunks[0] == [0, 1]
+
+    def test_warm_pool_counts_cells_not_chunks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "2")
+        if not shm_available():
+            monkeypatch.setenv("REPRO_SHM", "0")
+        configs = [small(seed=s) for s in range(4)]
+        serial = [run_simulation(c) for c in configs]
+        pooled = map_configs(configs, jobs=2, warm=True)
+        assert [p.as_dict() for p in pooled] == [s.as_dict() for s in serial]
+        pool = get_warm_pool(2)
+        assert pool.stats["tasks"] == 4  # 4 cells, not 2 chunks
+        again = map_configs(configs, jobs=2, warm=True)
+        assert [a.as_dict() for a in again] == [s.as_dict() for s in serial]
+        assert pool.stats["tasks"] == 8
+        assert pool.stats["warm_hits"] >= 4
+
+
+class TestBenchHistoryCap:
+    @pytest.fixture()
+    def shared(self, monkeypatch, tmp_path):
+        bench_dir = str(pathlib.Path(__file__).resolve().parents[1] / "benchmarks")
+        monkeypatch.syspath_prepend(bench_dir)
+        import _shared
+
+        monkeypatch.setattr(_shared, "RESULTS_DIR", tmp_path)
+        return _shared
+
+    def test_emit_trims_history_to_cap(self, shared, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_HISTORY_MAX", "3")
+        for i in range(5):
+            shared.emit("capped", "table", extra={"t_probe_s": float(i)})
+        payload = json.loads((tmp_path / "BENCH_capped.json").read_text())
+        assert len(payload["history"]) == 3
+        assert [row["t_probe_s"] for row in payload["history"]] == [2.0, 3.0, 4.0]
+
+    def test_history_cap_default_and_validation(self, shared, monkeypatch):
+        assert shared.history_max() == 200
+        monkeypatch.setenv("REPRO_BENCH_HISTORY_MAX", "7")
+        assert shared.history_max() == 7
+        for bad in ("0", "many"):
+            monkeypatch.setenv("REPRO_BENCH_HISTORY_MAX", bad)
+            with pytest.raises(ValueError):
+                shared.history_max()
+
+
+class TestCLI:
+    def test_run_batch_flag_matches_serial(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        argv = [
+            "run", "--sensors", "30", "--targets", "5", "--days", "0.1",
+            "--seed", "3", "--json",
+        ]
+        assert main(argv) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--batch"]) == 0
+        batched = json.loads(capsys.readouterr().out)
+        assert os.environ.get("REPRO_BATCH") == "1"
+        assert batched == serial
+
+    def test_no_batch_flag_publishes_opt_out(self, monkeypatch):
+        from repro.cli import main
+
+        argv = [
+            "run", "--sensors", "30", "--targets", "5", "--days", "0.05",
+            "--no-batch", "--json",
+        ]
+        assert main(argv) == 0
+        assert os.environ.get("REPRO_BATCH") == "0"
+
+
+def test_worlds_reusable_for_screening():
+    """run_batch screens with a tickless world, then batches it — the
+    engine must schedule ticks itself for externally built worlds."""
+    cfg = small(seed=4)
+    world = World(cfg, external_tick=True)
+    engine = BatchedEngine(worlds=[world])
+    (summary,) = engine.run()
+    assert summary.as_dict() == run_simulation(cfg).as_dict()

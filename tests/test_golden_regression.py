@@ -191,6 +191,40 @@ class TestGoldenExecutionMatrix:
             )
 
     @pytest.mark.parametrize("jobs", [1, 4])
+    @pytest.mark.parametrize("batch", ["0", "1"])
+    @pytest.mark.parametrize("soa", ["0", "1"])
+    def test_batched_matrix_bit_identical(self, monkeypatch, jobs, batch, soa):
+        """``REPRO_BATCH=1`` must change wall clock only: the lockstep
+        multi-world engine reproduces the goldens bit-for-bit, whether
+        the chunks run in-process or across pool workers, and with
+        ``REPRO_SOA=0`` (where batching cannot apply and every cell
+        falls back serially) nothing changes either."""
+        from repro.experiments.executor import map_configs
+
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        monkeypatch.setenv("REPRO_SOA", soa)
+        monkeypatch.setenv("REPRO_BATCH", batch)
+        if jobs > 1:
+            # One cell per chunk so the shape-batches actually fan out.
+            monkeypatch.setenv("REPRO_BATCH_SIZE", "1")
+        schedulers = ("greedy", "insertion")
+        configs = [
+            SimulationConfig(**{**GOLDEN_CONFIG, "scheduler": s}) for s in schedulers
+        ]
+        results = map_configs(configs, jobs=jobs)
+        for scheduler, summary in zip(schedulers, results):
+            got = summary.as_dict()
+            expected = GOLDEN_SUMMARIES[scheduler]
+            mismatches = {
+                k: (got[k], expected[k]) for k in expected if got[k] != expected[k]
+            }
+            assert not mismatches, (
+                f"{scheduler} drifted under jobs={jobs}, "
+                f"REPRO_BATCH={batch}, REPRO_SOA={soa}: {mismatches}"
+            )
+
+    @pytest.mark.parametrize("jobs", [1, 4])
     @pytest.mark.parametrize("warm", [False, True])
     def test_pool_backend_matrix_bit_identical(self, monkeypatch, jobs, warm):
         """The warm persistent pool must reproduce the goldens exactly,
