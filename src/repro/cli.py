@@ -19,9 +19,14 @@ Commands:
   state digests; exit 1 on divergence.
 * ``serve`` — run the long-lived sweep service on a unix socket: a
   persistent warm worker pool plus an optional content-addressed
-  result store shared by every client.
+  result store shared by every client; ``--live-port`` (or
+  ``REPRO_LIVE``) adds the HTTP telemetry plane (``/metrics``,
+  ``/healthz``, ``/statusz``) and ``--slo`` arms request-boundary
+  objective checks.
 * ``submit`` — submit an ERP x scheduler grid to a running service and
   stream per-cell results (table or JSON, reassembled in grid order).
+* ``top`` — live terminal dashboard streaming a serving instance's
+  ``/statusz`` (per-worker utilization, throughput, latency, SLOs).
 
 Every simulation command accepts ``--preset {small,experiment,paper}``
 plus individual overrides, or ``--config file.json`` (see
@@ -396,14 +401,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             store_dir=args.store,
             idle_timeout_s=args.idle_timeout,
             postmortem_dir=args.postmortem,
+            live_port=args.live_port,
+            slo=args.slo,
         )
     except ValueError as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
     store_note = f", store {args.store}" if args.store else ""
+    live_note = ""
+    if service.live is not None:
+        live_note = f", live {service.live.url}"
     print(
         f"repro sweep service listening on {args.socket} "
-        f"(jobs={service.jobs}{store_note})",
+        f"(jobs={service.jobs}{store_note}{live_note})",
         flush=True,
     )
     try:
@@ -412,6 +422,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         served = service.requests_served
     print(f"sweep service stopped after {served} request(s)")
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs.top import run_top
+
+    url = args.url if args.url else f"http://{args.host}:{args.port}"
+    return run_top(
+        url.rstrip("/"),
+        interval_s=args.interval,
+        frames=args.frames,
+        plain=args.plain,
+    )
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -672,7 +694,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-requests", type=int, metavar="N",
         help="exit after N connections (default: serve until shutdown)",
     )
+    p_serve.add_argument(
+        "--live-port", type=int, metavar="PORT",
+        help="arm the live telemetry plane: HTTP /metrics, /healthz and "
+             "/statusz on 127.0.0.1:PORT (0 = pick a free port; "
+             "default: REPRO_LIVE, else off)",
+    )
+    p_serve.add_argument(
+        "--slo", metavar="RULES",
+        help="';'-separated SLO rules checked at request boundaries, "
+             "e.g. 'executor.cell_latency_s:p99<=0.5;pool.respawns:rate<=0.1' "
+             "(default: REPRO_SLO; violations count into monitors.violations "
+             "and raise under REPRO_STRICT_MONITORS)",
+    )
     p_serve.set_defaults(func=_cmd_serve, cold=False)
+
+    p_top = sub.add_parser(
+        "top", help="live dashboard over a serving `repro serve --live-port`"
+    )
+    p_top.add_argument(
+        "--url", metavar="URL",
+        help="live plane base URL (e.g. http://127.0.0.1:9100); "
+             "overrides --host/--port",
+    )
+    p_top.add_argument("--host", default="127.0.0.1", help="live plane host")
+    p_top.add_argument(
+        "--port", type=int, default=9100, help="live plane port (default 9100)"
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="refresh period in seconds (default 1.0)",
+    )
+    p_top.add_argument(
+        "--frames", type=int, metavar="N",
+        help="render N frames then exit (CI smoke; default: run until q/Ctrl-C)",
+    )
+    p_top.add_argument(
+        "--plain", action="store_true",
+        help="print frames to stdout instead of the curses UI",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     p_submit = sub.add_parser(
         "submit", help="submit a sweep grid to a running `repro serve`"

@@ -74,11 +74,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from ..obs.instruments import NULL_INSTRUMENTS
+from ..obs.instruments import DEFAULT_LATENCY_BUCKETS, NULL_INSTRUMENTS
 from ..obs.spans import NULL_TRACER, SpanTracer
 from ..sim.config import SimulationConfig
 from ..sim.metrics import SimulationSummary
@@ -266,10 +267,16 @@ def _run_cell_batch(
     Summaries come back in payload order, each bit-identical to its
     serial :func:`run_simulation` counterpart; cells the batched
     kernels cannot represent fall back serially inside ``run_batch``.
+
+    Inside a streaming warm-pool worker, the batch books occupancy
+    instruments into the worker's local registry (shipped back as the
+    reply's stats delta); elsewhere ``worker_instruments()`` is None
+    and the engine runs instrument-free, exactly as before.
     """
+    from ..obs.live import worker_instruments
     from ..sim.runner import run_batch
 
-    return run_batch(list(configs))
+    return run_batch(list(configs), instruments=worker_instruments())
 
 
 #: Miss-execution worker functions by task kind.  The warm pool
@@ -437,6 +444,8 @@ def map_configs(
         obs.counter("executor.cache_misses").inc(len(misses))
         sweep_span.set(cache_hits=len(configs) - len(misses))
         if misses:
+            h_cell = obs.histogram("executor.cell_latency_s", DEFAULT_LATENCY_BUCKETS)
+            t_fan = time.perf_counter()
             if postmortem_dir is not None:
                 root = Path(postmortem_dir)
                 kind = "recorded"
@@ -462,11 +471,13 @@ def map_configs(
                 for chunk, summaries in zip(chunks, outputs):
                     for j, summary in zip(chunk, summaries):
                         i = misses[j]
+                        h_cell.observe(time.perf_counter() - t_fan)
                         _store_fresh(configs[i], summary, store, source="batch")
                         results[i] = summary
             else:
                 outputs = _execute(kind, payloads, n_jobs, use_warm, obs)
                 for i, out in zip(misses, outputs):
+                    h_cell.observe(time.perf_counter() - t_fan)
                     if kind == "run":
                         summary = out
                     else:
@@ -545,7 +556,14 @@ def iter_configs(
         kind = "run"
         payloads = [configs[i] for i in misses]
 
+    # Per-cell latency from fan-out start to completion — the live
+    # plane's p99 SLO substrate.  Only misses are timed (hits above
+    # were answered from the cache/store in microseconds).
+    h_cell = obs.histogram("executor.cell_latency_s", DEFAULT_LATENCY_BUCKETS)
+    t_fan = time.perf_counter()
+
     def _finish(i: int, summary: SimulationSummary, source: str):
+        h_cell.observe(time.perf_counter() - t_fan)
         _store_fresh(configs[i], summary, store, source=source)
         return i, summary, source
 

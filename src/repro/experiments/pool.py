@@ -59,7 +59,8 @@ from collections import deque
 from multiprocessing import connection
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..obs.instruments import NULL_INSTRUMENTS
+from ..obs.instruments import DEFAULT_LATENCY_BUCKETS, NULL_INSTRUMENTS
+from ..obs.schema import POOL_STATS
 
 __all__ = ["WarmPool", "get_warm_pool", "shm_available", "shutdown_warm_pool"]
 
@@ -227,7 +228,38 @@ def _resolve_task(kind: str):
         raise ValueError(f"unknown warm-pool task kind {kind!r}") from None
 
 
-def _worker_main(worker_id: int, conn, use_shm: bool) -> None:
+def _worker_stats_delta(
+    kind: str, payload: Any, elapsed_s: float, instruments
+) -> Dict[str, Any]:
+    """Book one task into the worker's local registry and snapshot it.
+
+    The registry is fresh per task (installed by the loop before the
+    task ran, so task code can record into it via
+    ``repro.obs.live.worker_instruments()``), which makes each snapshot
+    a *delta* — the parent-side MetricsBus just folds deltas additively
+    in whatever order replies arrive.
+
+    ``worker.tasks`` counts *cells*, matching the pool's weighted
+    ``tasks`` stat: a shape-batched payload covering k sweep cells
+    counts k, so a scrape of the worker aggregate reconciles with the
+    parent-side totals.
+    """
+    cells = len(payload) if kind == "batch" else 1
+    instruments.counter("worker.tasks").inc(cells)
+    instruments.counter(f"worker.tasks.{kind}").inc(cells)
+    instruments.histogram("worker.task_s", DEFAULT_LATENCY_BUCKETS).observe(elapsed_s)
+    try:
+        import resource
+
+        instruments.gauge("worker.maxrss_kb").set(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        )
+    except Exception:  # pragma: no cover - non-POSIX platform
+        pass
+    return instruments.snapshot()
+
+
+def _worker_main(worker_id: int, conn, use_shm: bool, stream: bool = False) -> None:
     """Warm worker loop: serve ``(gen, task_id, kind, payload)`` tasks
     from the parent's pipe until EOF or the ``None`` sentinel arrives.
 
@@ -237,6 +269,12 @@ def _worker_main(worker_id: int, conn, use_shm: bool) -> None:
     private to this worker — a crash here can never strand a lock a
     sibling needs, and ``conn.send`` writes synchronously, so a result
     the parent sees is a result that really completed.
+
+    With ``stream`` on (the pool has a MetricsBus attached), each reply
+    carries a per-task instrument snapshot delta as its final element —
+    piggybacked on the existing pipe, no extra channel.  Instruments
+    never touch the task payload or result, so simulation output is
+    byte-identical either way.
     """
     import numpy  # noqa: F401  (warm the import once per worker)
 
@@ -246,6 +284,10 @@ def _worker_main(worker_id: int, conn, use_shm: bool) -> None:
         pass
     from ..sim import runner  # noqa: F401  (warm the simulator import graph)
 
+    if stream:
+        from ..obs.instruments import Instruments
+        from ..obs.live import set_worker_instruments
+
     while True:
         try:
             msg = conn.recv()
@@ -254,6 +296,11 @@ def _worker_main(worker_id: int, conn, use_shm: bool) -> None:
         if msg is None:
             break
         gen, task_id, kind, payload = msg
+        delta: Optional[Dict[str, Any]] = None
+        if stream:
+            local = Instruments()
+            set_worker_instruments(local)
+        t0 = time.perf_counter()
         try:
             result = _resolve_task(kind)(payload)
         except BaseException as exc:  # ship the failure, keep the worker alive
@@ -261,9 +308,13 @@ def _worker_main(worker_id: int, conn, use_shm: bool) -> None:
                 blob: Optional[bytes] = pickle.dumps(exc)
             except Exception:
                 blob = None
-            reply = ("error", gen, task_id, blob, repr(exc))
+            if stream:
+                delta = _worker_stats_delta(kind, payload, time.perf_counter() - t0, local)
+            reply = ("error", gen, task_id, blob, repr(exc), delta)
         else:
-            reply = ("done", gen, task_id, _ship(result, use_shm))
+            if stream:
+                delta = _worker_stats_delta(kind, payload, time.perf_counter() - t0, local)
+            reply = ("done", gen, task_id, _ship(result, use_shm), delta)
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):  # pragma: no cover - parent died
@@ -288,23 +339,25 @@ class _Worker:
     duplex pipe and the ``(task_id, kind, payload)`` it currently holds
     (None when idle) — which is what makes crash resubmission exact."""
 
-    def __init__(self, ctx, wid: int, use_shm: bool) -> None:
+    def __init__(self, ctx, wid: int, use_shm: bool, stream: bool = False) -> None:
         self.wid = wid
         self.conn, child_conn = ctx.Pipe(duplex=True)
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(wid, child_conn, use_shm),
+            args=(wid, child_conn, use_shm, stream),
             daemon=True,
             name=f"repro-warm-{wid}",
         )
         self.proc.start()
         child_conn.close()  # the parent keeps only its own end
         self.task: Optional[Tuple[int, str, Any]] = None
+        self.dispatched_at: float = 0.0
 
     def dispatch(self, gen: int, task: Tuple[int, str, Any]) -> None:
         task_id, kind, payload = task
         self.conn.send((gen, task_id, kind, payload))
         self.task = task
+        self.dispatched_at = time.perf_counter()
 
     def discard(self) -> None:
         """Drop the parent-side handles (the process itself is managed
@@ -345,13 +398,49 @@ class WarmPool:
         self._last_used = time.monotonic()
         self._closed = False
         #: Lifetime totals, mirrored into instruments when provided.
-        self.stats: Dict[str, int] = {
-            "cold_starts": 0,
-            "warm_hits": 0,
-            "respawns": 0,
-            "reaps": 0,
-            "tasks": 0,
-            "shm_bytes": 0,
+        #: Keys come from the declared schema — the schema test asserts
+        #: this dict and POOL_STATS can never drift apart.
+        self.stats: Dict[str, int] = POOL_STATS.new_stats()
+        #: Live-telemetry bus (``repro.obs.live.MetricsBus``); when
+        #: attached, workers spawned afterwards stream per-task
+        #: instrument deltas that the parent folds into the bus.
+        self._bus = None
+
+    def attach_bus(self, bus) -> None:
+        """Arm worker stat streaming into ``bus`` for future spawns.
+
+        Call before the first run (the sweep service does) so every
+        worker streams; workers already alive keep their non-streaming
+        loop until they are respawned or reaped.
+        """
+        self._bus = bus
+
+    def _count(self, key: str, obs, amount: int = 1) -> None:
+        """Bump a schema-declared stat and its mirrored counter."""
+        self.stats[key] += amount
+        obs.counter(POOL_STATS.counter_name(key)).inc(amount)
+
+    def health(self) -> Dict[str, Any]:
+        """Per-worker liveness rows plus pool-level totals, the
+        substrate of the live plane's ``/healthz`` payload."""
+        workers = [
+            {
+                "wid": w.wid,
+                "pid": w.proc.pid,
+                "alive": w.proc.is_alive(),
+                "busy": w.task is not None,
+            }
+            for w in self._workers.values()
+        ]
+        return {
+            "jobs": self.jobs,
+            "workers_alive": self.workers_alive,
+            "closed": self._closed,
+            "streaming": self._bus is not None,
+            "generation": self._generation,
+            "respawns": self.stats["respawns"],
+            "reaps": self.stats["reaps"],
+            "workers": workers,
         }
 
     # -- lifecycle ----------------------------------------------------
@@ -359,7 +448,7 @@ class WarmPool:
     def _spawn_worker(self) -> _Worker:
         wid = self._next_worker_id
         self._next_worker_id += 1
-        worker = _Worker(self._ctx, wid, self.use_shm)
+        worker = _Worker(self._ctx, wid, self.use_shm, stream=self._bus is not None)
         self._workers[wid] = worker
         return worker
 
@@ -393,7 +482,7 @@ class WarmPool:
         if (time.monotonic() if now is None else now) - self._last_used < self.idle_timeout_s:
             return False
         self._stop_workers()
-        self.stats["reaps"] += 1
+        self._count("reaps", NULL_INSTRUMENTS)
         return True
 
     def _stop_workers(self) -> None:
@@ -465,10 +554,9 @@ class WarmPool:
             worker.discard()
         if self._workers:
             warm_inc = int(sum(weights)) if weights is not None else 1
-            self.stats["warm_hits"] += warm_inc
-            obs.counter("pool.warm_hits").inc(warm_inc)
+            self._count("warm_hits", obs, warm_inc)
         else:
-            self.stats["cold_starts"] += 1
+            self._count("cold_starts", obs)
         while len(self._workers) < self.jobs:
             self._spawn_worker()
         #: Tasks not yet dispatched; a dispatch buffered behind a stale
@@ -477,12 +565,16 @@ class WarmPool:
             (task_id, kind, payload) for task_id, payload in enumerate(payloads)
         )
         remaining = len(payloads)
+        run_t0 = time.perf_counter()
+        h_wait = obs.histogram("pool.queue_wait_s", DEFAULT_LATENCY_BUCKETS)
+        h_task = obs.histogram("pool.task_s", DEFAULT_LATENCY_BUCKETS)
         for worker in self._workers.values():
             worker.task = None  # anything older belongs to a dead generation
             if backlog:
                 worker.dispatch(gen, backlog.popleft())
-        self.stats["tasks"] += (
-            int(sum(weights)) if weights is not None else len(payloads)
+                h_wait.observe(worker.dispatched_at - run_t0)
+        self._count(
+            "tasks", obs, int(sum(weights)) if weights is not None else len(payloads)
         )
         depth = obs.gauge("pool.queue_depth")
         depth.set(remaining)
@@ -505,19 +597,29 @@ class WarmPool:
                         try:
                             msg = worker.conn.recv()
                         except (EOFError, OSError):
-                            self._replace(worker, backlog, gen, obs)
+                            self._replace(worker, backlog, gen, obs, run_t0, h_wait)
                             continue
-                        for item in self._consume(worker, msg, gen, backlog, obs):
+                        for item in self._consume(
+                            worker, msg, gen, backlog, obs, run_t0, h_wait, h_task
+                        ):
                             remaining -= 1
                             depth.set(remaining)
                             yield item
                     elif not worker.proc.is_alive():
-                        self._replace(worker, backlog, gen, obs)
+                        self._replace(worker, backlog, gen, obs, run_t0, h_wait)
         finally:
             self._last_used = time.monotonic()
 
     def _consume(
-        self, worker: _Worker, msg: Tuple[Any, ...], gen: int, backlog, obs
+        self,
+        worker: _Worker,
+        msg: Tuple[Any, ...],
+        gen: int,
+        backlog,
+        obs,
+        run_t0: float,
+        h_wait,
+        h_task,
     ) -> Iterator[Tuple[int, Any]]:
         """Process one message off a worker's pipe; yields a completed
         ``(task_id, result)`` when the message belongs to this run."""
@@ -526,22 +628,25 @@ class WarmPool:
             if tag == "done":
                 _discard(msg[3])
             return
+        if self._bus is not None:
+            self._bus.absorb(msg[-1], worker.wid)
         if tag == "done":
-            _, _, task_id, shipped = msg
+            _, _, task_id, shipped, _delta = msg
+            h_task.observe(time.perf_counter() - worker.dispatched_at)
             worker.task = None
             if backlog:
                 worker.dispatch(gen, backlog.popleft())
+                h_wait.observe(worker.dispatched_at - run_t0)
             result, shm_bytes = _unship(shipped)
             if shm_bytes:
-                self.stats["shm_bytes"] += shm_bytes
-                obs.counter("pool.shm_bytes").inc(shm_bytes)
+                self._count("shm_bytes", obs, shm_bytes)
             yield task_id, result
         else:  # "error"
-            _, _, task_id, blob, text = msg
+            _, _, task_id, blob, text, _delta = msg
             worker.task = None
             raise _rebuild_exc(blob, text)
 
-    def _replace(self, worker: _Worker, backlog, gen: int, obs) -> None:
+    def _replace(self, worker: _Worker, backlog, gen: int, obs, run_t0: float, h_wait) -> None:
         """Respawn a crashed worker; its in-flight task goes back to
         the front of the backlog and is redispatched immediately."""
         self._workers.pop(worker.wid, None)
@@ -549,12 +654,12 @@ class WarmPool:
         lost = worker.task
         worker.discard()
         replacement = self._spawn_worker()
-        self.stats["respawns"] += 1
-        obs.counter("pool.respawns").inc()
+        self._count("respawns", obs)
         if lost is not None:
             backlog.appendleft(lost)
         if backlog:
             replacement.dispatch(gen, backlog.popleft())
+            h_wait.observe(replacement.dispatched_at - run_t0)
 
     def run(
         self,

@@ -48,7 +48,7 @@ import socket
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
-from ..obs.instruments import Instruments
+from ..obs.instruments import DEFAULT_LATENCY_BUCKETS, Instruments
 from ..sim.metrics import SimulationSummary
 from ..sim.serialization import config_from_dict, config_to_dict
 from .cache import summary_from_dict
@@ -80,6 +80,21 @@ class SweepService:
     ``postmortem_dir``, each submission's misses run with the flight
     recorder armed and crashing cells flush
     ``<postmortem_dir>/request-<n>/cell-<grid index>`` bundles.
+
+    Live telemetry plane (``repro.obs.live``): pass ``live_port``
+    (``0`` = ephemeral) — or set ``REPRO_LIVE`` — and the service
+    embeds an HTTP listener on 127.0.0.1 exposing ``/metrics``
+    (Prometheus exposition), ``/healthz`` (per-worker state with
+    ok/degraded/unhealthy thresholds) and ``/statusz`` (one JSON blob:
+    in-flight job, latency histograms, pool/store totals, per-worker
+    rows, batch occupancy).  The service's instrument registry then
+    *is* the plane's :class:`~repro.obs.live.MetricsBus`, the warm
+    pool streams worker stat deltas into it, and ``REPRO_SLO`` rules
+    (or ``slo=``) are evaluated at request boundaries through
+    :meth:`~repro.obs.monitors.MonitorSet.check_slo` — violations
+    count, span, and fail fast under ``REPRO_STRICT_MONITORS``.  With
+    the plane off (the default) none of this exists: no bus, no
+    threads, no sockets.
     """
 
     def __init__(
@@ -92,6 +107,9 @@ class SweepService:
         idle_timeout_s: Optional[float] = None,
         postmortem_dir=None,
         instruments: Optional[Instruments] = None,
+        live_port: Optional[int] = None,
+        live_interval_s: Optional[float] = None,
+        slo: Optional[str] = None,
     ) -> None:
         self.socket_path = str(socket_path)
         self.jobs = default_jobs() if jobs is None else int(jobs)
@@ -100,7 +118,27 @@ class SweepService:
         self.warm = bool(warm)
         self.idle_timeout_s = idle_timeout_s
         self.postmortem_dir = None if postmortem_dir is None else Path(postmortem_dir)
-        self.instruments = Instruments() if instruments is None else instruments
+
+        # Only touch repro.obs.live (and its http.server import) when
+        # the plane could actually be armed — the null default imports
+        # nothing and allocates nothing.
+        if live_port is None and os.environ.get("REPRO_LIVE", "").strip():
+            from ..obs.live import live_port_from_env
+
+            live_port = live_port_from_env()
+        self.bus = None
+        self.live = None
+        self._slo_evaluator = None
+        if live_port is not None:
+            from ..obs.live import MetricsBus
+
+            self.bus = MetricsBus()
+            # One registry for everything: executor/pool/store counters
+            # recorded by the accept thread and worker deltas absorbed
+            # by the bus land in the same place the scraper reads.
+            self.instruments = self.bus.instruments
+        else:
+            self.instruments = Instruments() if instruments is None else instruments
         if store is not None:
             self.store: Optional[ResultStore] = store
         elif store_dir is not None:
@@ -109,6 +147,41 @@ class SweepService:
             self.store = ResultStore.from_env(instruments=self.instruments)
         self.requests_served = 0
         self._stop = False
+        #: Progress of the request being served right now (/statusz).
+        self._current: Optional[Dict[str, Any]] = None
+
+        if self.bus is not None:
+            from ..obs.live import (
+                LiveServer,
+                SloEvaluator,
+                live_interval_from_env,
+                parse_slo_rules,
+            )
+
+            slo_spec = os.environ.get("REPRO_SLO", "") if slo is None else slo
+            rules = parse_slo_rules(slo_spec)
+            if rules:
+                from ..obs.monitors import MonitorSet
+                from ..obs.spans import SpanTracer
+
+                monitors = MonitorSet(instruments=self.instruments, spans=SpanTracer())
+                self._slo_evaluator = SloEvaluator(rules, monitors)
+            if live_interval_s is None:
+                live_interval_s = live_interval_from_env()
+            self.live = LiveServer(
+                self.bus,
+                port=live_port,
+                status_fn=self._statusz,
+                health_fn=self._healthz,
+                sample_fn=self._sample,
+                interval_s=live_interval_s,
+            )
+            if self.warm:
+                # Arm worker stat streaming before any worker spawns so
+                # every worker's replies carry instrument deltas.
+                from .pool import get_warm_pool
+
+                get_warm_pool(self.jobs).attach_bus(self.bus)
 
     # -- lifecycle ----------------------------------------------------
 
@@ -134,13 +207,25 @@ class SweepService:
                 with conn:
                     self._handle(conn)
                 self.requests_served += 1
+                # SLOs are checked here — in the accept thread, at a
+                # request boundary — so a strict violation raises where
+                # the service can fail fast, never inside a scrape.
+                if self._slo_evaluator is not None:
+                    self._slo_evaluator.evaluate(self.bus)
         finally:
             server.close()
             try:
                 os.unlink(self.socket_path)
             except OSError:
                 pass
+            self.close_live()
         return self.requests_served
+
+    def close_live(self) -> None:
+        """Tear the live HTTP plane down (idempotent; no-op when off)."""
+        if self.live is not None:
+            self.live.close()
+            self.live = None
 
     def _maybe_reap(self) -> None:
         """Let an idle warm pool release its workers between clients."""
@@ -229,6 +314,79 @@ class SweepService:
             out["store"] = self.store.describe()
         return out
 
+    # -- live plane sources -------------------------------------------
+
+    def _healthz(self) -> Dict[str, Any]:
+        """The ``/healthz`` payload: pool liveness with thresholds.
+
+        ``idle`` — no pool yet (or reaped); ``ok`` — every slot live;
+        ``degraded`` — some but not all slots live; ``unhealthy`` —
+        workers expected but none alive (served with HTTP 503).
+        Status is a pure function of *current* liveness, so a respawn
+        flips degraded back to ok on the next scrape.
+        """
+        from .pool import _default_pool
+
+        pool = _default_pool
+        out: Dict[str, Any] = {
+            "jobs": self.jobs,
+            "requests_served": self.requests_served,
+            "inflight": self._current is not None,
+        }
+        if pool is None or pool._closed or not pool._workers:
+            out["status"] = "idle"
+            return out
+        health = pool.health()
+        alive = health["workers_alive"]
+        if alive == 0:
+            out["status"] = "unhealthy"
+        elif alive < pool.jobs:
+            out["status"] = "degraded"
+        else:
+            out["status"] = "ok"
+        out.update(health)
+        return out
+
+    def _statusz(self) -> Dict[str, Any]:
+        """The ``/statusz`` payload: one JSON blob of live state."""
+        snapshot = self.bus.snapshot() if self.bus is not None else {}
+        current = self._current
+        if current is not None:
+            # Shallow-copy down to the sources tally: the accept thread
+            # mutates it while scrape threads serialize the copy.
+            current = {**current, "sources": dict(current["sources"])}
+        out: Dict[str, Any] = {
+            "service": self.describe(),
+            "current": current,
+            "histograms": snapshot.get("histograms", {}),
+            "gauges": snapshot.get("gauges", {}),
+            "health": self._healthz(),
+        }
+        if self.bus is not None:
+            out["workers"] = {
+                str(wid): row for wid, row in self.bus.worker_rows().items()
+            }
+        if self._slo_evaluator is not None:
+            out["slo"] = self._slo_evaluator.last_results
+        return out
+
+    def _sample(self) -> None:
+        """Periodic gauge refresh (runs on the live sampler thread)."""
+        from .pool import _default_pool
+
+        obs = self.instruments
+        pool = _default_pool
+        obs.gauge("service.workers_alive").set(
+            pool.workers_alive if pool is not None and not pool._closed else 0
+        )
+        obs.gauge("service.requests_served").set(self.requests_served)
+        if self.store is not None:
+            try:
+                obs.gauge("store.entries").set(len(self.store))
+                obs.gauge("store.bytes").set(self.store.total_bytes())
+            except OSError:  # pragma: no cover - store dir racing eviction
+                pass
+
     def _submit(self, request: Dict[str, Any], wfile) -> None:
         keys: Optional[List[CellKey]] = None
         if request["op"] == "submit_grid":
@@ -249,22 +407,35 @@ class SweepService:
         if self.postmortem_dir is not None:
             postmortem = self.postmortem_dir / f"request-{self.requests_served:03d}"
         sources: Dict[str, int] = {}
-        for index, summary, source in iter_configs(
-            configs,
-            jobs=self.jobs,
-            warm=self.warm,
-            store=self.store,
-            instruments=self.instruments,
-            postmortem_dir=postmortem,
-        ):
-            sources[source] = sources.get(source, 0) + 1
-            row: Dict[str, Any] = {
-                "cell": index, "source": source, "summary": summary.as_dict(),
-            }
-            if keys is not None:
-                row["key"] = list(keys[index])
-            _send(wfile, row)
-        _send(wfile, {"done": True, "cells": len(configs), "sources": sources})
+        obs = self.instruments
+        obs.counter("service.requests").inc()
+        obs.gauge("service.inflight").set(1)
+        self._current = {
+            "op": request["op"], "cells": len(configs), "completed": 0,
+            "sources": sources,
+        }
+        try:
+            with obs.timer("service.request_s", DEFAULT_LATENCY_BUCKETS):
+                for index, summary, source in iter_configs(
+                    configs,
+                    jobs=self.jobs,
+                    warm=self.warm,
+                    store=self.store,
+                    instruments=obs,
+                    postmortem_dir=postmortem,
+                ):
+                    sources[source] = sources.get(source, 0) + 1
+                    self._current["completed"] += 1
+                    row: Dict[str, Any] = {
+                        "cell": index, "source": source, "summary": summary.as_dict(),
+                    }
+                    if keys is not None:
+                        row["key"] = list(keys[index])
+                    _send(wfile, row)
+            _send(wfile, {"done": True, "cells": len(configs), "sources": sources})
+        finally:
+            self._current = None
+            obs.gauge("service.inflight").set(0)
 
 
 class RemoteGrid:

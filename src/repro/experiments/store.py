@@ -39,6 +39,7 @@ import pathlib
 from typing import Dict, List, Optional
 
 from ..obs.instruments import NULL_INSTRUMENTS
+from ..obs.schema import STORE_STATS
 from ..sim.config import SimulationConfig
 from ..sim.metrics import SimulationSummary
 from .cache import config_key, summary_from_dict
@@ -66,9 +67,9 @@ class ResultStore:
     def __init__(self, root, instruments=None) -> None:
         self.root = pathlib.Path(root)
         self._instruments = NULL_INSTRUMENTS if instruments is None else instruments
-        self.stats: Dict[str, int] = {
-            "hits": 0, "misses": 0, "puts": 0, "dedup": 0, "corrupt": 0,
-        }
+        # Keys come from the declared schema — the schema test asserts
+        # this dict and STORE_STATS can never drift apart.
+        self.stats: Dict[str, int] = STORE_STATS.new_stats()
 
     @classmethod
     def from_env(cls, instruments=None) -> Optional["ResultStore"]:
@@ -94,7 +95,7 @@ class ResultStore:
     def _count(self, name: str, instruments, amount: int = 1) -> None:
         self.stats[name] += amount
         obs = self._instruments if instruments is None else instruments
-        obs.counter(f"store.{name}").inc(amount)
+        obs.counter(STORE_STATS.counter_name(name)).inc(amount)
 
     # -- read/write ---------------------------------------------------
 

@@ -56,8 +56,10 @@ from .exporters import (
     SpansExporter,
     SqliteExporter,
     TelemetryBundle,
+    prometheus_lines,
 )
 from .instruments import (
+    DEFAULT_LATENCY_BUCKETS,
     NULL_INSTRUMENTS,
     Counter,
     Gauge,
@@ -74,6 +76,7 @@ from .monitors import (
     NullMonitors,
 )
 from .report import format_report, load_report
+from .schema import POOL_STATS, SERVICE_DESCRIBE_KEYS, STORE_STATS, StatField, StatsSchema
 from .spans import (
     NULL_TRACER,
     NullTracer,
@@ -84,16 +87,42 @@ from .spans import (
     spans_to_jsonl_lines,
 )
 
+# The live telemetry plane (repro.obs.live) is exported lazily: the
+# module drags in http.server, which nothing on the null path needs —
+# `from repro.obs import MetricsBus` works, but a plain
+# `import repro.obs` stays exactly as light as before.
+_LIVE_EXPORTS = {
+    "MetricsBus",
+    "LiveServer",
+    "SloRule",
+    "SloEvaluator",
+    "parse_slo_rules",
+    "live_port_from_env",
+    "live_interval_from_env",
+}
+
+
+def __getattr__(name: str):
+    if name in _LIVE_EXPORTS:
+        from . import live
+
+        return getattr(live, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "BlackBoxRecorder",
     "Counter",
     "CsvExporter",
     "DEFAULT_EXPORTERS",
+    "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
     "Instruments",
     "InvariantViolation",
     "JsonlExporter",
+    "LiveServer",
+    "MetricsBus",
     "MonitorSet",
     "NULL_BLACKBOX",
     "NULL_INSTRUMENTS",
@@ -104,13 +133,20 @@ __all__ = [
     "NullMonitors",
     "NullTracer",
     "PhaseTimer",
+    "POOL_STATS",
     "PostmortemBundle",
     "PrometheusExporter",
     "RunManifest",
+    "SERVICE_DESCRIBE_KEYS",
+    "STORE_STATS",
+    "SloEvaluator",
+    "SloRule",
     "Span",
     "SpanTracer",
     "SpansExporter",
     "SqliteExporter",
+    "StatField",
+    "StatsSchema",
     "TelemetryBundle",
     "blackbox_enabled",
     "config_digest",
@@ -121,10 +157,14 @@ __all__ = [
     "format_postmortem",
     "format_report",
     "git_revision",
+    "live_interval_from_env",
+    "live_port_from_env",
     "load_bundle",
     "load_metrics",
     "load_report",
     "load_spans",
+    "parse_slo_rules",
+    "prometheus_lines",
     "render_span_tree",
     "spans_to_jsonl_lines",
 ]

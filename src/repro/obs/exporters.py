@@ -52,6 +52,7 @@ __all__ = [
     "SqliteExporter",
     "TelemetryBundle",
     "DEFAULT_EXPORTERS",
+    "prometheus_lines",
 ]
 
 #: The exporter names a telemetry run enables when none are requested.
@@ -149,42 +150,113 @@ class JsonlExporter:
         return written
 
 
+def _prom_escape_help(text: str) -> str:
+    """Escape a HELP string per exposition format (backslash, newline)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _prom_histogram_lines(
+    metric: str,
+    count: float,
+    total: float,
+    buckets: Optional[List[float]],
+    bucket_bounds: Optional[List[float]],
+    help_text: str,
+) -> List[str]:
+    """A full ``histogram``-typed series: HELP/TYPE, cumulative
+    ``_bucket{le=...}`` rows ending in ``+Inf``, ``_sum`` and ``_count``.
+
+    Histograms recorded without bucket bounds still emit a single
+    ``+Inf`` bucket equal to the count, keeping the exposition a valid
+    histogram instead of the old summary-style pair.
+    """
+    lines = [
+        f"# HELP {metric} {_prom_escape_help(help_text)}",
+        f"# TYPE {metric} histogram",
+    ]
+    if buckets is not None and bucket_bounds is not None:
+        cum = 0.0
+        for bound, n in zip(bucket_bounds, buckets):
+            cum += n
+            lines.append(f'{metric}_bucket{{le="{bound:g}"}} {cum:g}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {count:g}')
+    else:
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {count:g}')
+    lines.append(f"{metric}_sum {total:g}")
+    lines.append(f"{metric}_count {count:g}")
+    return lines
+
+
+def prometheus_lines(
+    snapshot: Dict[str, Any],
+    summary: Optional[Dict[str, float]] = None,
+    bucket_bounds: Optional[Dict[str, List[float]]] = None,
+) -> List[str]:
+    """Render an ``Instruments.snapshot()`` as exposition-format lines.
+
+    Shared by the file exporter and the live ``/metrics`` endpoint so
+    both speak exactly the same dialect: ``# HELP`` / ``# TYPE`` for
+    every family, ``_total`` counters, plain gauges, and full
+    ``_bucket`` / ``_sum`` / ``_count`` histogram series (timers in
+    seconds).  Bucketed snapshot rows carry their own ``bucket_bounds``;
+    ``bucket_bounds`` maps instrument names to upper bounds for older
+    snapshots that only recorded ``buckets`` counts.  Without either,
+    the histogram degrades to a single ``+Inf`` bucket.
+    """
+    lines: List[str] = []
+    used: set = set()
+    bounds_by_name = bucket_bounds or {}
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _prom_unique(_prom_name(name) + "_total", used)
+        lines += [
+            f"# HELP {metric} {_prom_escape_help(f'counter {name}')}",
+            f"# TYPE {metric} counter",
+            f"{metric} {value:g}",
+        ]
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _prom_unique(_prom_name(name), used)
+        lines += [
+            f"# HELP {metric} {_prom_escape_help(f'gauge {name}')}",
+            f"# TYPE {metric} gauge",
+            f"{metric} {value:g}",
+        ]
+    for name, s in snapshot.get("histograms", {}).items():
+        metric = _prom_unique(_prom_name(name), used)
+        bounds = s.get("bucket_bounds") or bounds_by_name.get(name)
+        buckets = s.get("buckets") if bounds is not None else None
+        lines += _prom_histogram_lines(
+            metric, s["count"], s["total"], buckets, bounds, f"histogram {name}"
+        )
+    for name, s in snapshot.get("timers", {}).items():
+        metric = _prom_unique(_prom_name(name) + "_seconds", used)
+        bounds = s.get("bucket_bounds") or bounds_by_name.get(name)
+        buckets = s.get("buckets") if bounds is not None else None
+        lines += _prom_histogram_lines(
+            metric, s["count"], s["total_s"], buckets, bounds, f"timer {name} (seconds)"
+        )
+    for key, value in (summary or {}).items():
+        metric = _prom_unique(_prom_name(f"summary.{key}"), used)
+        lines += [
+            f"# HELP {metric} {_prom_escape_help(f'final summary {key}')}",
+            f"# TYPE {metric} gauge",
+            f"{metric} {value:g}",
+        ]
+    return lines
+
+
 class PrometheusExporter:
     """``metrics.prom``: a Prometheus text-format (0.0.4) snapshot.
 
-    Counters and gauges map directly; histograms and timers are exposed
-    as summaries (``_count`` / ``_sum``, timers in seconds).  The final
-    simulation summary rides along as ``repro_summary_*`` gauges so a
-    scrape of an archived run carries its headline figures.
+    Counters and gauges map directly; histograms and timers are
+    exposed as proper ``histogram`` families with ``_bucket`` /
+    ``_sum`` / ``_count`` series (timers in seconds), each preceded by
+    ``# HELP`` and ``# TYPE``.  The final simulation summary rides
+    along as ``repro_summary_*`` gauges so a scrape of an archived run
+    carries its headline figures.
     """
 
     def export(self, out_dir: Path, bundle: TelemetryBundle) -> List[Path]:
-        lines: List[str] = []
-        used: set = set()
-        snap = bundle.instruments
-        for name, value in snap.get("counters", {}).items():
-            metric = _prom_unique(_prom_name(name) + "_total", used)
-            lines += [f"# TYPE {metric} counter", f"{metric} {value:g}"]
-        for name, value in snap.get("gauges", {}).items():
-            metric = _prom_unique(_prom_name(name), used)
-            lines += [f"# TYPE {metric} gauge", f"{metric} {value:g}"]
-        for name, summary in snap.get("histograms", {}).items():
-            metric = _prom_unique(_prom_name(name), used)
-            lines += [
-                f"# TYPE {metric} summary",
-                f"{metric}_count {summary['count']:g}",
-                f"{metric}_sum {summary['total']:g}",
-            ]
-        for name, summary in snap.get("timers", {}).items():
-            metric = _prom_unique(_prom_name(name) + "_seconds", used)
-            lines += [
-                f"# TYPE {metric} summary",
-                f"{metric}_count {summary['count']:g}",
-                f"{metric}_sum {summary['total_s']:g}",
-            ]
-        for key, value in bundle.summary.items():
-            metric = _prom_unique(_prom_name(f"summary.{key}"), used)
-            lines += [f"# TYPE {metric} gauge", f"{metric} {value:g}"]
+        lines = prometheus_lines(bundle.instruments, bundle.summary)
         path = Path(out_dir) / "metrics.prom"
         path.write_text("\n".join(lines) + "\n")
         return [path]
@@ -221,6 +293,8 @@ class CsvExporter:
             for kind in ("histograms", "timers"):
                 for name, summary in snap.get(kind, {}).items():
                     for fieldname, value in summary.items():
+                        if not isinstance(value, (int, float)):
+                            continue  # bucket-count lists stay in JSON land
                         writer.writerow([kind[:-1], name, fieldname, repr(float(value))])
         written.append(inst_path)
         return written
@@ -281,6 +355,8 @@ class SqliteExporter:
             for kind in ("histograms", "timers"):
                 for name, summary in snap.get(kind, {}).items():
                     for fieldname, value in summary.items():
+                        if not isinstance(value, (int, float)):
+                            continue  # bucket-count lists stay in JSON land
                         rows.append((kind[:-1], name, fieldname, float(value)))
             for key, value in bundle.summary.items():
                 rows.append(("summary", key, "value", float(value)))

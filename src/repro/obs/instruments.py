@@ -17,10 +17,12 @@ translate those names into their own conventions.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
     "Instruments",
@@ -28,6 +30,14 @@ __all__ = [
     "NULL_INSTRUMENTS",
     "PhaseTimer",
 ]
+
+#: Log-spaced bucket bounds (seconds) for latency histograms.  Chosen
+#: to straddle both sub-millisecond kernel phases and multi-minute
+#: sweep cells; the implicit ``+Inf`` bucket catches the rest.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
 
 
 class Counter:
@@ -69,17 +79,29 @@ class Histogram:
     """A streaming summary of observed values (count/total/min/max).
 
     Keeps O(1) state rather than the raw samples: per-sample series
-    belong in the trace recorder, which timestamps them.
+    belong in the trace recorder, which timestamps them.  Passing
+    ``buckets`` (a sorted sequence of upper bounds) additionally keeps
+    per-bucket counts, enabling Prometheus ``_bucket`` series and
+    approximate quantiles; without buckets the cost stays four floats.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "bucket_counts")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        if buckets:
+            self.buckets: Optional[Tuple[float, ...]] = tuple(float(b) for b in buckets)
+            if list(self.buckets) != sorted(set(self.buckets)):
+                raise ValueError(f"histogram {name!r} buckets must be sorted and unique")
+            # One slot per bound plus the +Inf overflow; non-cumulative.
+            self.bucket_counts: Optional[List[int]] = [0] * (len(self.buckets) + 1)
+        else:
+            self.buckets = None
+            self.bucket_counts = None
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -89,22 +111,82 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if self.buckets is not None:
+            self.bucket_counts[bisect_left(self.buckets, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def summary(self) -> Dict[str, float]:
-        """The JSON-friendly view used by snapshots and exporters."""
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket counts (upper-bound rule).
+
+        Requires buckets; values past the last bound report the
+        observed max (the honest cap for an open-ended bucket).
+        """
+        if self.buckets is None:
+            raise ValueError(f"histogram {self.name!r} has no buckets; cannot take quantiles")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
         if not self.count:
-            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
-        return {
-            "count": self.count,
-            "total": self.total,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean,
-        }
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            seen += n
+            if seen >= rank:
+                return bound
+        return self.max
+
+    def merge(self, summary: Dict[str, Any]) -> None:
+        """Fold another histogram's ``summary()`` into this one.
+
+        Addition is commutative, so merging worker deltas in any
+        arrival order yields the same totals — the same property span
+        ``absorb()`` relies on.  Bucket layouts must match when both
+        sides have them.
+        """
+        count = int(summary.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.total += float(summary.get("total", 0.0))
+        smin = float(summary.get("min", 0.0))
+        smax = float(summary.get("max", 0.0))
+        if smin < self.min:
+            self.min = smin
+        if smax > self.max:
+            self.max = smax
+        theirs = summary.get("buckets")
+        if self.buckets is not None and theirs:
+            if len(theirs) != len(self.bucket_counts):
+                raise ValueError(
+                    f"histogram {self.name!r}: bucket layout mismatch in merge"
+                )
+            for i, n in enumerate(theirs):
+                self.bucket_counts[i] += int(n)
+
+    def summary(self) -> Dict[str, Any]:
+        """The JSON-friendly view used by snapshots and exporters.
+
+        Scalar fields only, plus optional ``buckets`` (non-cumulative
+        per-bucket counts) and ``bucket_bounds`` (the upper bounds)
+        lists; tabular exporters skip the lists.
+        """
+        if not self.count:
+            out: Dict[str, Any] = {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        else:
+            out = {
+                "count": self.count,
+                "total": self.total,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.mean,
+            }
+        if self.buckets is not None:
+            out["buckets"] = list(self.bucket_counts)
+            out["bucket_bounds"] = list(self.buckets)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.4g})"
@@ -120,8 +202,8 @@ class PhaseTimer(Histogram):
 
     __slots__ = ("_starts",)
 
-    def __init__(self, name: str) -> None:
-        super().__init__(name)
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None) -> None:
+        super().__init__(name, buckets)
         self._starts: List[float] = []
 
     def __enter__(self) -> "PhaseTimer":
@@ -147,10 +229,10 @@ class Instruments:
     def __init__(self) -> None:
         self._instruments: Dict[str, Any] = {}
 
-    def _get(self, name: str, kind: type) -> Any:
+    def _get(self, name: str, kind: type, *args: Any) -> Any:
         inst = self._instruments.get(name)
         if inst is None:
-            inst = self._instruments[name] = kind(name)
+            inst = self._instruments[name] = kind(name, *args)
         elif type(inst) is not kind:
             raise ValueError(
                 f"instrument {name!r} is a {type(inst).__name__}, not a {kind.__name__}"
@@ -163,11 +245,12 @@ class Instruments:
     def gauge(self, name: str) -> Gauge:
         return self._get(name, Gauge)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """Get-or-create; ``buckets`` only applies on first creation."""
+        return self._get(name, Histogram, buckets)
 
-    def timer(self, name: str) -> PhaseTimer:
-        return self._get(name, PhaseTimer)
+    def timer(self, name: str, buckets: Optional[Sequence[float]] = None) -> PhaseTimer:
+        return self._get(name, PhaseTimer, buckets)
 
     def names(self) -> List[str]:
         """All instrument names, in creation order."""
@@ -177,7 +260,9 @@ class Instruments:
         """A JSON-friendly dump of every instrument, grouped by kind.
 
         Timer durations are reported in seconds under ``timers``;
-        creation order is preserved inside each group.
+        creation order is preserved inside each group.  Iterates a
+        list copy so a live-endpoint scrape racing instrument creation
+        never sees a resized dict.
         """
         out: Dict[str, Dict[str, Any]] = {
             "counters": {},
@@ -185,16 +270,20 @@ class Instruments:
             "histograms": {},
             "timers": {},
         }
-        for name, inst in self._instruments.items():
+        for name, inst in list(self._instruments.items()):
             if isinstance(inst, PhaseTimer):
                 s = inst.summary()
-                out["timers"][name] = {
+                timer_row: Dict[str, Any] = {
                     "count": s["count"],
                     "total_s": s["total"],
                     "min_s": s["min"],
                     "max_s": s["max"],
                     "mean_s": s["mean"],
                 }
+                if "buckets" in s:
+                    timer_row["buckets"] = s["buckets"]
+                    timer_row["bucket_bounds"] = s["bucket_bounds"]
+                out["timers"][name] = timer_row
             elif isinstance(inst, Histogram):
                 out["histograms"][name] = inst.summary()
             elif isinstance(inst, Gauge):
@@ -228,8 +317,12 @@ class _NullHistogram:
     count = 0
     total = 0.0
     mean = 0.0
+    buckets = None
 
     def observe(self, value: float) -> None:
+        pass
+
+    def merge(self, summary: Dict[str, Any]) -> None:
         pass
 
     def summary(self) -> Dict[str, float]:
@@ -268,10 +361,10 @@ class NullInstruments:
     def gauge(self, name: str) -> _NullGauge:
         return _NULL_GAUGE
 
-    def histogram(self, name: str) -> _NullHistogram:
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> _NullHistogram:
         return _NULL_HISTOGRAM
 
-    def timer(self, name: str) -> _NullTimer:
+    def timer(self, name: str, buckets: Optional[Sequence[float]] = None) -> _NullTimer:
         return _NULL_TIMER
 
     def names(self) -> List[str]:

@@ -342,6 +342,7 @@ class BatchedEngine:
         *,
         worlds: Optional[Sequence[World]] = None,
         debug: Optional[bool] = None,
+        instruments=None,
     ) -> None:
         if worlds is None:
             if not configs:
@@ -386,6 +387,16 @@ class BatchedEngine:
             [World(w.cfg) for w in worlds] if self.debug else None
         )
         self._tmp_bool = np.empty((self.stacks.B, self._n), dtype=bool)
+        # Occupancy instruments (live telemetry): alive worlds per step
+        # as a fraction of the launch width.  The null registry makes
+        # each step pay two no-op calls when telemetry is off.
+        from ..obs.instruments import NULL_INSTRUMENTS
+
+        obs = NULL_INSTRUMENTS if instruments is None else instruments
+        self._b0 = len(worlds)
+        self._c_steps = obs.counter("batch.steps")
+        self._c_world_steps = obs.counter("batch.world_steps")
+        self._h_occupancy = obs.histogram("batch.occupancy")
         self._refresh_world_hooks()
 
     # -- bookkeeping -----------------------------------------------------
@@ -438,6 +449,9 @@ class BatchedEngine:
             self._finish(done)
             if not self.stacks.worlds:
                 return False
+        self._c_steps.inc()
+        self._c_world_steps.inc(self.stacks.B)
+        self._h_occupancy.observe(self.stacks.B / self._b0)
         for w in self.stacks.worlds:
             w.state.sim.run_until_before(T, PRIO_TICK)
         if self.stacks.worlds[0].state.targets.epoch != self._epoch:

@@ -72,6 +72,7 @@ def run_simulation(config: SimulationConfig) -> SimulationSummary:
 def run_batch(
     configs: Sequence[SimulationConfig],
     debug: Optional[bool] = None,
+    instruments=None,
 ) -> List[SimulationSummary]:
     """Run several configurations, batching compatible ones.
 
@@ -91,10 +92,18 @@ def run_batch(
     invariant monitors validate the batched kernels tick by tick and
     any violation raises — monitors observe the trajectory, never
     perturb it.
+
+    ``instruments`` (optional) records batch occupancy — alive worlds
+    per step, cells batched vs serial-fallback — into the given
+    registry (a streaming warm-pool worker passes its per-task local
+    one); instruments never touch the trajectory, so summaries stay
+    byte-identical with or without them.
     """
+    from ..obs.instruments import NULL_INSTRUMENTS
     from ..obs.monitors import MonitorSet, strict_monitors_default
     from .batch import BatchedEngine, _batchable_world, batchable_config, shape_signature
 
+    obs = NULL_INSTRUMENTS if instruments is None else instruments
     strict = strict_monitors_default()
     configs = list(configs)
     out: List[Optional[SimulationSummary]] = [None] * len(configs)
@@ -102,6 +111,7 @@ def run_batch(
     for i, cfg in enumerate(configs):
         if not batchable_config(cfg):
             logger.debug("cell %d not batchable by config; running serially", i)
+            obs.counter("batch.cells_serial").inc()
             out[i] = run_simulation(cfg)
             continue
         world = World(
@@ -113,11 +123,13 @@ def run_batch(
         if reason is not None:
             # The screening world has no tick event scheduled; rebuild.
             logger.debug("cell %d not batchable (%s); running serially", i, reason)
+            obs.counter("batch.cells_serial").inc()
             out[i] = run_simulation(cfg)
             continue
         groups.setdefault(shape_signature(cfg), []).append((i, world))
     for pairs in groups.values():
-        engine = BatchedEngine(worlds=[w for _, w in pairs], debug=debug)
+        obs.counter("batch.cells_batched").inc(len(pairs))
+        engine = BatchedEngine(worlds=[w for _, w in pairs], debug=debug, instruments=obs)
         for (i, _), summary in zip(pairs, engine.run()):
             out[i] = summary
     return out  # type: ignore[return-value]

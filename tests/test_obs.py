@@ -240,9 +240,14 @@ class TestExporters:
             EXPORTERS.unregister("test-onefile")
 
 
-# Exposition format 0.0.4: a sample line is "name value", the name from
-# this grammar.  The lint below holds for arbitrary instrument names.
+# Exposition format 0.0.4: a sample line is "name[{labels}] value", the
+# name from this grammar.  The lint below holds for arbitrary
+# instrument names; histogram ``_bucket`` series repeat the same name
+# with distinct ``le`` labels, so uniqueness applies to (name, labels).
 _PROM_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_PROM_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?P<labels>\{[^}]*\})? (?P<value>\S+)$"
+)
 
 
 class TestPrometheusSanitization:
@@ -276,12 +281,36 @@ class TestPrometheusSanitization:
         for line in (tmp_path / "metrics.prom").read_text().splitlines():
             if not line or line.startswith("#"):
                 continue
-            name, value = line.split()
-            assert _PROM_NAME_RE.match(name), name
-            assert name not in seen, f"duplicate sample {name}"
-            seen.add(name)
-            float(value)
+            m = _PROM_SAMPLE_RE.match(line)
+            assert m, f"unparseable sample line {line!r}"
+            assert _PROM_NAME_RE.match(m.group("name")), m.group("name")
+            key = (m.group("name"), m.group("labels"))
+            assert key not in seen, f"duplicate sample {key}"
+            seen.add(key)
+            float(m.group("value"))
         assert seen
+
+    def test_histogram_series_are_cumulative(self, tmp_path):
+        obs = Instruments()
+        h = obs.histogram("cell.latency", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        bundle = TelemetryBundle(instruments=obs.snapshot(), summary={})
+        EXPORTERS.build("prometheus").export(tmp_path, bundle)
+        text = (tmp_path / "metrics.prom").read_text()
+        assert "# TYPE repro_cell_latency histogram" in text
+        assert 'repro_cell_latency_bucket{le="0.1"} 1' in text
+        assert 'repro_cell_latency_bucket{le="1"} 3' in text
+        assert 'repro_cell_latency_bucket{le="+Inf"} 4' in text
+        assert "repro_cell_latency_count 4" in text
+        assert "repro_cell_latency_sum 6.05" in text
+
+    def test_help_and_type_comments_present(self, tmp_path):
+        EXPORTERS.build("prometheus").export(tmp_path, self.weird_bundle())
+        text = (tmp_path / "metrics.prom").read_text()
+        assert "# HELP repro_fleet_rv_0_sorties_total" in text
+        assert "# TYPE repro_fleet_rv_0_sorties_total counter" in text
+        assert "# TYPE repro_h_llo_latency histogram" in text
 
 
 class TestSpansAndSqliteExporters:
